@@ -1,0 +1,78 @@
+// Command g2gexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	g2gexp -experiment fig3          # one experiment (see -list)
+//	g2gexp -experiment all -quick    # everything, reduced workload
+//	g2gexp -list                     # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"give2get/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "g2gexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("g2gexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id, or 'all'")
+		quick      = fs.Bool("quick", false, "reduced workload (faster, coarser sweeps)")
+		seed       = fs.Int64("seed", 1, "seed for workload and deviant selection")
+		repeats    = fs.Int("repeats", 1, "average each measurement over this many seeds")
+		format     = fs.String("format", "text", "output format: text or csv")
+		verbose    = fs.Bool("v", false, "log every completed run")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	if *verbose {
+		opts.Progress = stderr
+	}
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		tables, err := experiments.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			return err
+		}
+		for _, tbl := range tables {
+			switch *format {
+			case "csv":
+				if err := tbl.RenderCSV(stdout); err != nil {
+					return err
+				}
+			case "text":
+				if err := tbl.Render(stdout); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown format %q (want text or csv)", *format)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	return nil
+}

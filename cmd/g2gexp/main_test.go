@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "fig8", "table1", "abl-fanout"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-experiment", "secV", "-quick", "-v"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "detection probability") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "secV") {
+		t.Errorf("verbose progress missing:\n%s", errOut.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-experiment", "bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

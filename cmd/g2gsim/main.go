@@ -1,0 +1,128 @@
+// Command g2gsim runs a single forwarding simulation and prints its
+// metrics.
+//
+// Usage:
+//
+//	g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 30m
+//	g2gsim -trace contacts.txt -protocol epidemic -ttl 35m \
+//	       -droppers 10 -outsiders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"give2get"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "g2gsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("g2gsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset    = fs.String("preset", "infocom05", "built-in trace preset (infocom05|cambridge06|campus-spatial)")
+		tracePath = fs.String("trace", "", "CRAWDAD-style contact file (overrides -preset)")
+		proto     = fs.String("protocol", "g2g-epidemic", "forwarding protocol")
+		ttl       = fs.Duration("ttl", 30*time.Minute, "message TTL Δ1 (Δ2 = 2×TTL)")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		window    = fs.Duration("window", 0, "experiment window start inside the trace (0 = auto)")
+		interval  = fs.Duration("interval", 4*time.Second, "mean message inter-generation time")
+		deviants  = fs.Int("deviants", 0, "number of deviating nodes")
+		deviation = fs.String("deviation", "dropper", "deviation strategy (dropper|liar|cheater)")
+		outsiders = fs.Bool("outsiders", false, "deviants spare their own community")
+		realCrypt = fs.Bool("realcrypto", false, "use Ed25519/X25519/AES-GCM instead of the fast provider")
+		events    = fs.String("events", "", "write a JSON-lines event log of the run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		tr  *give2get.Trace
+		err error
+	)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = give2get.ParseTrace(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		tr, err = give2get.GenerateTrace(give2get.Preset(*preset), *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := give2get.SimulationConfig{
+		Trace:           tr,
+		Protocol:        give2get.Protocol(*proto),
+		TTL:             *ttl,
+		Seed:            *seed,
+		WindowStart:     *window,
+		MessageInterval: *interval,
+		OnlyOutsiders:   *outsiders,
+		RealCrypto:      *realCrypt,
+	}
+	if *deviants > 0 {
+		cfg.Deviation = give2get.Deviation(*deviation)
+		for i := 0; i < *deviants && i < tr.Nodes(); i++ {
+			// Deterministic spread across the population.
+			cfg.Deviants = append(cfg.Deviants, (i*7+int(*seed))%tr.Nodes())
+		}
+		cfg.Deviants = dedupe(cfg.Deviants)
+	}
+
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.EventLog = f
+	}
+
+	res, err := give2get.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace:       %s (%d nodes, %d contacts)\n", tr.Name(), tr.Nodes(), tr.Contacts())
+	fmt.Fprintf(stdout, "protocol:    %s  ttl=%v  seed=%d\n", *proto, *ttl, *seed)
+	fmt.Fprintf(stdout, "messages:    %d generated, %d delivered (%.1f%%)\n",
+		res.Generated, res.Delivered, res.SuccessRate)
+	fmt.Fprintf(stdout, "delay:       %v mean\n", res.MeanDelay.Round(time.Second))
+	fmt.Fprintf(stdout, "cost:        %.2f replicas/msg total, %.2f at delivery\n",
+		res.Cost, res.CostToDelivery)
+	if *deviants > 0 {
+		fmt.Fprintf(stdout, "deviants:    %d %ss (outsiders=%v)\n", len(cfg.Deviants), *deviation, *outsiders)
+		fmt.Fprintf(stdout, "detection:   %.1f%% exposed, mean %v after TTL, %d false accusations\n",
+			res.DetectionRate, res.MeanDetectionTime.Round(time.Second), res.FalseAccusations)
+	}
+	return nil
+}
+
+func dedupe(in []int) []int {
+	seen := make(map[int]struct{}, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-preset", "infocom05", "-protocol", "g2g-epidemic",
+		"-ttl", "30m", "-interval", "2m",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocol:", "messages:", "delay:", "cost:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "detection:") {
+		t.Error("detection line printed without deviants")
+	}
+}
+
+func TestRunWithDeviants(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-preset", "infocom05", "-protocol", "g2g-epidemic",
+		"-ttl", "30m", "-interval", "2m",
+		"-deviants", "5", "-deviation", "dropper",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "detection:") {
+		t.Errorf("no detection line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 false accusations") {
+		t.Errorf("false accusations reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown protocol", args: []string{"-protocol", "bogus"}},
+		{name: "unknown preset", args: []string{"-preset", "bogus"}},
+		{name: "missing trace file", args: []string{"-trace", "/does/not/exist"}},
+		{name: "bad flag", args: []string{"-nope"}},
+		{name: "unknown deviation", args: []string{"-deviants", "3", "-deviation", "bogus", "-interval", "2m"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if err := run(tt.args, &out, &errOut); err == nil {
+				t.Error("invalid invocation accepted")
+			}
+		})
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	got := dedupe([]int{3, 1, 3, 2, 1})
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("dedupe = %v", got)
+	}
+}

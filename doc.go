@@ -1,0 +1,33 @@
+// Package give2get is a library implementation of "Give2Get: Forwarding in
+// Social Mobile Wireless Networks of Selfish Individuals" (Mei & Stefa,
+// ICDCS 2010): forwarding protocols for pocket switched networks that remain
+// Nash equilibria when every node is selfish.
+//
+// The package exposes a compact facade over the full simulation stack:
+//
+//   - Trace handling: synthetic community-structured contact traces
+//     (Infocom05/Cambridge06-like presets), CRAWDAD-style parsing, statistics
+//     and k-clique community detection.
+//   - Protocols: Epidemic, G2G Epidemic, Delegation (Destination Frequency /
+//     Destination Last Contact) and G2G Delegation, with droppers, liars,
+//     cheaters, and "selfish with outsiders" variants.
+//   - Simulation: trace-driven runs with the paper's workload, yielding
+//     success rate, delay, cost, and misbehavior-detection metrics.
+//   - Experiments: drivers that regenerate every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	tr, _ := give2get.GenerateTrace(give2get.PresetInfocom05, 42)
+//	res, _ := give2get.Run(give2get.SimulationConfig{
+//		Trace:    tr,
+//		Protocol: give2get.G2GEpidemic,
+//		TTL:      30 * time.Minute,
+//		Seed:     1,
+//	})
+//	fmt.Printf("delivered %.1f%% at cost %.1f replicas/message\n",
+//		res.SuccessRate, res.Cost)
+//
+// See the examples directory for runnable scenarios and cmd/g2gexp for the
+// paper-reproduction harness.
+package give2get

@@ -1,0 +1,66 @@
+package give2get_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"give2get"
+)
+
+// ExampleParseTrace shows loading a CRAWDAD-style contact listing and
+// inspecting it.
+func ExampleParseTrace() {
+	const listing = `# nodes=4 name=office
+0 1 0 120
+1 2 300 360
+0 1 600 660
+2 3 700 750
+`
+	tr, err := give2get.ParseTrace(strings.NewReader(listing))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d contacts\n", tr.Name(), tr.Nodes(), tr.Contacts())
+	// Output: office: 4 nodes, 4 contacts
+}
+
+// ExampleGenerateTrace shows drawing a synthetic dataset deterministically.
+func ExampleGenerateTrace() {
+	tr, err := give2get.GenerateTrace(give2get.PresetCambridge06, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s has %d nodes\n", tr.Name(), tr.Nodes())
+	// Output: cambridge06-synth has 36 nodes
+}
+
+// ExampleRun shows one complete simulation on a tiny hand-written trace:
+// node 0 generates messages; contacts 0-1 and 1-2 repeat, so epidemic
+// forwarding delivers everything within the TTL.
+func ExampleRun() {
+	var listing strings.Builder
+	listing.WriteString("# nodes=3 name=tiny\n")
+	for s := 0; s < 3600*3; s += 300 {
+		fmt.Fprintf(&listing, "0 1 %d %d\n", s, s+60)
+		fmt.Fprintf(&listing, "1 2 %d %d\n", s+120, s+180)
+	}
+	tr, err := give2get.ParseTrace(strings.NewReader(listing.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := give2get.Run(give2get.SimulationConfig{
+		Trace:           tr,
+		Protocol:        give2get.Epidemic,
+		TTL:             30 * time.Minute,
+		Seed:            1,
+		WindowStart:     1, // the trace has no warm-up to skip
+		MessageInterval: 10 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d of %d\n", res.Delivered, res.Generated)
+	// Output: delivered 19 of 19
+}

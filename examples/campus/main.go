@@ -1,0 +1,73 @@
+// Campus: students across three college communities relay messages for one
+// another with Delegation Forwarding, which exploits heterogeneous contact
+// rates to deliver at a fraction of Epidemic's cost. Some students lie about
+// their forwarding quality to dodge relay work; G2G Delegation's
+// test-by-destination audit exposes them from their own signed claims.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"give2get"
+)
+
+func main() {
+	tr, err := give2get.GenerateTrace(give2get.PresetCambridge06, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comms, err := tr.Communities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus trace: %d students, %d communities detected by k-clique percolation\n",
+		tr.Nodes(), len(comms))
+	for i, c := range comms {
+		fmt.Printf("  community %d: %d members\n", i, len(c))
+	}
+
+	// Cost of delegation vs epidemic on an all-honest campus.
+	fmt.Println("\nall-honest comparison (TTL 75m delegation, 35m epidemic):")
+	for _, p := range []give2get.Protocol{give2get.Epidemic, give2get.DelegationLastContact,
+		give2get.G2GDelegationLastContact} {
+		ttl := 75 * time.Minute
+		if p == give2get.Epidemic {
+			ttl = 35 * time.Minute
+		}
+		res, err := give2get.Run(give2get.SimulationConfig{
+			Trace:           tr,
+			Protocol:        p,
+			TTL:             ttl,
+			Seed:            3,
+			MessageInterval: 8 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s delivery %5.1f%%  cost %5.1f replicas/msg  delay %v\n",
+			p, res.SuccessRate, res.Cost, res.MeanDelay.Round(time.Second))
+	}
+
+	// Liars claim quality zero to every quality query. The destination
+	// audits the sender-embedded declarations against its own symmetric
+	// encounter record and broadcasts proofs of lying.
+	fmt.Println("\nliars on campus (G2G Delegation, Destination Last Contact):")
+	liars := []int{2, 8, 15, 21, 28, 33}
+	res, err := give2get.Run(give2get.SimulationConfig{
+		Trace:           tr,
+		Protocol:        give2get.G2GDelegationLastContact,
+		TTL:             75 * time.Minute,
+		Seed:            3,
+		MessageInterval: 8 * time.Second,
+		Deviants:        liars,
+		Deviation:       give2get.Liars,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d liars planted, %.0f%% exposed (mean %v after message TTL), %d honest nodes framed\n",
+		len(liars), res.DetectionRate, res.MeanDetectionTime.Round(time.Second),
+		res.FalseAccusations)
+}

@@ -1,0 +1,74 @@
+// Conference: the paper's motivating scenario. Attendees of a conference
+// exchange messages device-to-device; a growing fraction of them install a
+// "selfish patch" that drops everything they are asked to relay. Watch
+// vanilla Epidemic Forwarding collapse — and G2G Epidemic hold its delivery
+// rate while exposing the free-riders within minutes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"give2get"
+)
+
+func main() {
+	tr, err := give2get.GenerateTrace(give2get.PresetInfocom05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conference trace: %d nodes over %v\n\n", tr.Nodes(), tr.Stats().Span)
+
+	fmt.Println("droppers  epidemic-delivery%  g2g-delivery%  g2g-detected%  detect-after-TTL")
+	for _, droppers := range []int{0, 10, 20, 30} {
+		deviants := make([]int, droppers)
+		for i := range deviants {
+			deviants[i] = (i * 3) % tr.Nodes()
+		}
+		deviants = unique(deviants)
+
+		base := give2get.SimulationConfig{
+			Trace:           tr,
+			TTL:             30 * time.Minute,
+			Seed:            7,
+			MessageInterval: 8 * time.Second,
+			Deviants:        deviants,
+			Deviation:       give2get.Droppers,
+		}
+
+		epidemic := base
+		epidemic.Protocol = give2get.Epidemic
+		epiRes, err := give2get.Run(epidemic)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		g2g := base
+		g2g.Protocol = give2get.G2GEpidemic
+		g2gRes, err := give2get.Run(g2g)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%8d  %18.1f  %13.1f  %13.1f  %16v\n",
+			len(deviants), epiRes.SuccessRate, g2gRes.SuccessRate,
+			g2gRes.DetectionRate, g2gRes.MeanDetectionTime.Round(time.Second))
+	}
+
+	fmt.Println("\nEvery exposed dropper carries a proof of misbehavior signed by")
+	fmt.Println("its own key, so the network evicts it without trusting the accuser.")
+}
+
+func unique(in []int) []int {
+	seen := make(map[int]struct{}, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

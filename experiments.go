@@ -1,0 +1,28 @@
+package give2get
+
+import (
+	"strings"
+
+	"give2get/internal/experiments"
+)
+
+func experimentIDs() []string {
+	return experiments.IDs()
+}
+
+func runExperiment(id string, quick bool, seed int64) (string, error) {
+	tables, err := experiments.Run(id, experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, tbl := range tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if err := tbl.Render(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,225 @@
+package give2get
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"give2get/internal/engine"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// Protocol names a forwarding protocol.
+type Protocol string
+
+// The protocols of the paper.
+const (
+	// Epidemic is Vahdat & Becker's epidemic forwarding (the baseline).
+	Epidemic Protocol = "epidemic"
+	// G2GEpidemic is Give2Get Epidemic Forwarding (Section IV).
+	G2GEpidemic Protocol = "g2g-epidemic"
+	// DelegationFrequency is Delegation Forwarding with the Destination
+	// Frequency quality (Erramilli et al.).
+	DelegationFrequency Protocol = "delegation-frequency"
+	// DelegationLastContact is Delegation Forwarding with the Destination
+	// Last Contact quality.
+	DelegationLastContact Protocol = "delegation-last-contact"
+	// G2GDelegationFrequency is Give2Get Delegation Forwarding with the
+	// Destination Frequency quality (Section VI).
+	G2GDelegationFrequency Protocol = "g2g-delegation-frequency"
+	// G2GDelegationLastContact is Give2Get Delegation Forwarding with the
+	// Destination Last Contact quality.
+	G2GDelegationLastContact Protocol = "g2g-delegation-last-contact"
+)
+
+// Protocols lists all supported protocol names.
+func Protocols() []Protocol {
+	return []Protocol{Epidemic, G2GEpidemic, DelegationFrequency,
+		DelegationLastContact, G2GDelegationFrequency, G2GDelegationLastContact}
+}
+
+// Deviation names a selfish strategy for the deviating nodes of a run.
+type Deviation string
+
+// The rational deviations of the paper.
+const (
+	// HonestNodes makes the "deviants" follow the protocol (a control).
+	HonestNodes Deviation = "honest"
+	// Droppers discard every message right after the relay phase.
+	Droppers Deviation = "dropper"
+	// Liars report forwarding quality zero when asked (delegation only).
+	Liars Deviation = "liar"
+	// Cheaters rewrite the quality label of relayed messages to zero
+	// (delegation only).
+	Cheaters Deviation = "cheater"
+)
+
+// SimulationConfig describes one trace-driven run. Zero values get the
+// paper's defaults where they exist.
+type SimulationConfig struct {
+	// Trace is the contact trace to replay (required).
+	Trace *Trace
+	// Protocol selects the forwarding protocol (required).
+	Protocol Protocol
+	// TTL is the message TTL Δ1 (required). Δ2 is fixed at 2×TTL as in the
+	// paper.
+	TTL time.Duration
+	// Seed makes the run reproducible (workload, deviant crypto, decoys).
+	Seed int64
+
+	// WindowStart positions the 3-hour experiment window inside the trace;
+	// zero starts one hour after the trace's first contact.
+	WindowStart time.Duration
+	// MessageInterval is the mean Poisson inter-generation time; zero means
+	// the paper's 4 seconds.
+	MessageInterval time.Duration
+
+	// Deviants lists the node ids that play the Deviation strategy.
+	Deviants []int
+	// Deviation is the deviants' strategy; empty means honest.
+	Deviation Deviation
+	// OnlyOutsiders restricts the deviation to sessions with members of
+	// other (k-clique detected) communities.
+	OnlyOutsiders bool
+
+	// RealCrypto switches from the fast HMAC-simulated provider to real
+	// Ed25519/X25519/AES-GCM.
+	RealCrypto bool
+
+	// EventLog, when non-nil, receives one JSON line per protocol event
+	// (generate, replicate, deliver, test, detect) during the run.
+	EventLog io.Writer
+}
+
+// Result summarizes a run.
+type Result struct {
+	Generated int
+	Delivered int
+	// SuccessRate is the delivery percentage.
+	SuccessRate float64
+	MeanDelay   time.Duration
+	// Cost is the mean number of replicas created per message.
+	Cost float64
+	// CostToDelivery is the mean number of replicas that existed when the
+	// destination first received the message (the paper's Fig. 8 metric).
+	CostToDelivery float64
+
+	// DetectionRate is the percentage of deviants exposed by a proof of
+	// misbehavior.
+	DetectionRate float64
+	// MeanDetectionTime is the average exposure time after the TTL expiry
+	// of the exposing message.
+	MeanDetectionTime time.Duration
+	// FalseAccusations counts proofs against honest nodes (always zero:
+	// the protocols make framing impossible).
+	FalseAccusations int
+	// Detections lists each exposed node with its misbehavior class and
+	// exposure time.
+	Detections []DetectionInfo
+}
+
+// DetectionInfo describes one exposed deviant.
+type DetectionInfo struct {
+	Node int
+	// Reason is "dropped", "lied", or "cheated".
+	Reason string
+	// At is the exposure instant (virtual time from the trace start).
+	At time.Duration
+}
+
+// Run executes a simulation.
+func Run(cfg SimulationConfig) (*Result, error) {
+	if cfg.Trace == nil || cfg.Trace.inner == nil {
+		return nil, errors.New("give2get: config needs a trace")
+	}
+	kind, err := protocol.ParseKind(string(cfg.Protocol))
+	if err != nil {
+		return nil, fmt.Errorf("give2get: %w", err)
+	}
+	if cfg.TTL <= 0 {
+		return nil, errors.New("give2get: TTL must be positive")
+	}
+
+	deviation := protocol.Honest
+	switch cfg.Deviation {
+	case "", HonestNodes:
+	case Droppers:
+		deviation = protocol.Dropper
+	case Liars:
+		deviation = protocol.Liar
+	case Cheaters:
+		deviation = protocol.Cheater
+	default:
+		return nil, fmt.Errorf("give2get: unknown deviation %q", cfg.Deviation)
+	}
+
+	deviants := make([]trace.NodeID, len(cfg.Deviants))
+	for i, d := range cfg.Deviants {
+		deviants[i] = trace.NodeID(d)
+	}
+
+	ecfg := engine.Config{
+		Trace:         cfg.Trace.inner,
+		Protocol:      kind,
+		Params:        protocol.DefaultParams(sim.Time(cfg.TTL)),
+		Seed:          cfg.Seed,
+		Deviants:      deviants,
+		Deviation:     deviation,
+		OnlyOutsiders: cfg.OnlyOutsiders,
+	}
+	if cfg.RealCrypto {
+		ecfg.Crypto = engine.CryptoReal
+	}
+	ecfg.EventLog = cfg.EventLog
+
+	windowStart := sim.Time(cfg.WindowStart)
+	if windowStart == 0 {
+		first, _ := cfg.Trace.inner.Span()
+		windowStart = first + sim.Hour
+	}
+	engine.DefaultWorkload(&ecfg, windowStart)
+	if cfg.MessageInterval > 0 {
+		ecfg.MessageInterval = sim.Time(cfg.MessageInterval)
+	}
+
+	res, err := engine.Run(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	detections := make([]DetectionInfo, 0, len(res.Collector.Detections()))
+	for _, d := range res.Collector.Detections() {
+		detections = append(detections, DetectionInfo{
+			Node:   int(d.Accused),
+			Reason: d.Reason.String(),
+			At:     d.At.Duration(),
+		})
+	}
+	out := &Result{
+		Detections:        detections,
+		Generated:         res.Summary.Generated,
+		Delivered:         res.Summary.Delivered,
+		SuccessRate:       res.Summary.SuccessRate,
+		MeanDelay:         res.Summary.MeanDelay.Duration(),
+		Cost:              res.Summary.MeanCost,
+		CostToDelivery:    res.Summary.MeanCostToDelivery,
+		DetectionRate:     res.Detection.Rate,
+		MeanDetectionTime: res.Detection.MeanTimeAfterTTL.Duration(),
+		FalseAccusations:  res.Detection.FalseAccusations,
+	}
+	return out, nil
+}
+
+// Experiments returns the ids of the paper-reproduction experiments usable
+// with RunExperiment.
+func Experiments() []string {
+	return experimentIDs()
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and returns
+// it rendered as text. Set quick for a reduced workload.
+func RunExperiment(id string, quick bool, seed int64) (string, error) {
+	return runExperiment(id, quick, seed)
+}

@@ -1,0 +1,257 @@
+package give2get
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := GenerateTrace(PresetInfocom05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func quickConfig(t *testing.T, p Protocol) SimulationConfig {
+	return SimulationConfig{
+		Trace:           testTrace(t),
+		Protocol:        p,
+		TTL:             30 * time.Minute,
+		Seed:            1,
+		WindowStart:     33 * time.Hour,
+		MessageInterval: 30 * time.Second,
+	}
+}
+
+func TestGenerateTracePresets(t *testing.T) {
+	for _, preset := range []Preset{PresetInfocom05, PresetCambridge06} {
+		tr, err := GenerateTrace(preset, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		stats := tr.Stats()
+		if stats.Nodes < 30 || stats.Contacts < 1000 {
+			t.Errorf("%s stats = %+v", preset, stats)
+		}
+		if stats.Span < 2*24*time.Hour {
+			t.Errorf("%s span = %v", preset, stats.Span)
+		}
+	}
+	if _, err := GenerateTrace(Preset("nope"), 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestTraceWriteParseRoundTrip(t *testing.T) {
+	tr := testTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Nodes() != tr.Nodes() || parsed.Contacts() != tr.Contacts() {
+		t.Errorf("round trip: %d/%d vs %d/%d",
+			parsed.Nodes(), parsed.Contacts(), tr.Nodes(), tr.Contacts())
+	}
+	if parsed.Name() != tr.Name() {
+		t.Errorf("name %q vs %q", parsed.Name(), tr.Name())
+	}
+}
+
+func TestTraceCommunities(t *testing.T) {
+	comms, err := testTrace(t).Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comms) < 2 {
+		t.Errorf("communities = %d, want >= 2", len(comms))
+	}
+	for _, group := range comms {
+		if len(group) < 3 {
+			t.Errorf("community %v smaller than k", group)
+		}
+	}
+}
+
+func TestTraceWindow(t *testing.T) {
+	tr := testTrace(t)
+	w, err := tr.Window(33*time.Hour, 36*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Contacts() == 0 || w.Contacts() >= tr.Contacts() {
+		t.Errorf("window contacts = %d of %d", w.Contacts(), tr.Contacts())
+	}
+}
+
+func TestRunEpidemic(t *testing.T) {
+	res, err := Run(quickConfig(t, Epidemic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("no messages generated")
+	}
+	if res.SuccessRate <= 0 || res.SuccessRate > 100 {
+		t.Errorf("success = %v", res.SuccessRate)
+	}
+	if res.Cost <= 1 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.MeanDelay <= 0 {
+		t.Errorf("delay = %v", res.MeanDelay)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			ttl := 30 * time.Minute
+			if strings.Contains(string(p), "delegation") {
+				ttl = 45 * time.Minute
+			}
+			cfg := quickConfig(t, p)
+			cfg.TTL = ttl
+			cfg.MessageInterval = time.Minute
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Generated == 0 {
+				t.Error("no messages generated")
+			}
+		})
+	}
+}
+
+func TestRunDropperDetection(t *testing.T) {
+	cfg := quickConfig(t, G2GEpidemic)
+	cfg.Deviants = []int{3, 9, 17}
+	cfg.Deviation = Droppers
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate <= 0 {
+		t.Error("no droppers detected")
+	}
+	if res.FalseAccusations != 0 {
+		t.Errorf("false accusations = %d", res.FalseAccusations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SimulationConfig)
+	}{
+		{name: "nil trace", mutate: func(c *SimulationConfig) { c.Trace = nil }},
+		{name: "bad protocol", mutate: func(c *SimulationConfig) { c.Protocol = "bogus" }},
+		{name: "zero ttl", mutate: func(c *SimulationConfig) { c.TTL = 0 }},
+		{name: "bad deviation", mutate: func(c *SimulationConfig) { c.Deviation = "bogus" }},
+		{name: "deviant out of range", mutate: func(c *SimulationConfig) { c.Deviants = []int{999} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := quickConfig(t, Epidemic)
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := quickConfig(t, G2GEpidemic)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 10 {
+		t.Errorf("experiments = %v", ids)
+	}
+	if _, err := RunExperiment("bogus", true, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	out, err := RunExperiment("secV", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Infocom05") || !strings.Contains(out, "detection rate") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunDetectionsExposed(t *testing.T) {
+	cfg := quickConfig(t, G2GEpidemic)
+	cfg.Deviants = []int{3, 9, 17}
+	cfg.Deviation = Droppers
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) == 0 {
+		t.Fatal("no detections exposed on the result")
+	}
+	valid := map[int]bool{3: true, 9: true, 17: true}
+	for _, d := range res.Detections {
+		if !valid[d.Node] {
+			t.Errorf("detection of non-deviant node %d", d.Node)
+		}
+		if d.Reason != "dropped" {
+			t.Errorf("reason = %q", d.Reason)
+		}
+		if d.At <= 0 {
+			t.Errorf("detection at %v", d.At)
+		}
+	}
+}
+
+func TestCampusSpatialPreset(t *testing.T) {
+	tr, err := GenerateTrace(PresetCampusSpatial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 30 || tr.Contacts() == 0 {
+		t.Fatalf("spatial preset: %d nodes, %d contacts", tr.Nodes(), tr.Contacts())
+	}
+	// The spatial trace drives a full simulation like any other.
+	res, err := Run(SimulationConfig{
+		Trace:           tr,
+		Protocol:        G2GEpidemic,
+		TTL:             30 * time.Minute,
+		Seed:            1,
+		WindowStart:     10 * time.Hour,
+		MessageInterval: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 || res.Delivered == 0 {
+		t.Errorf("spatial run moved no messages: %+v", res)
+	}
+}

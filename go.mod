@@ -1,0 +1,3 @@
+module give2get
+
+go 1.22

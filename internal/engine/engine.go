@@ -1,0 +1,488 @@
+// Package engine drives forwarding protocols over contact traces: it replays
+// contacts through the discrete-event kernel, generates the paper's Poisson
+// workload, runs pairwise protocol sessions (with intra-contact cascades, so
+// a message can cross several hops while the radios are still in range),
+// distributes proof-of-misbehavior broadcasts, and aggregates metrics.
+//
+// The experiment methodology follows Section V-B: a window of the trace is
+// isolated; messages are generated with uniform random sources and
+// destinations from a Poisson process, with no generation in the final hour
+// of the window; buffers are infinite; the TTL (Δ1) is the protocol
+// parameter. A warm-up period before the window feeds encounters to the
+// delegation quality tables without traffic, standing in for the history
+// the paper's nodes accumulated before each isolated period, and the run
+// continues past the window end long enough for the pending G2G test phases
+// to resolve (detection times are reported relative to the TTL expiry).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/kclique"
+	"give2get/internal/metrics"
+	"give2get/internal/mobility"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// CryptoProvider selects the crypto substrate for a run.
+type CryptoProvider string
+
+// Available crypto providers.
+const (
+	// CryptoFast simulates signatures with keyed HMACs: the default for
+	// large parameter sweeps.
+	CryptoFast CryptoProvider = "fast"
+	// CryptoReal uses Ed25519/X25519/AES-GCM end to end.
+	CryptoReal CryptoProvider = "real"
+)
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Trace is the full contact trace; the experiment runs on a window of
+	// it (all times below are absolute trace times).
+	Trace *trace.Trace
+	// Protocol selects the forwarding protocol all nodes run.
+	Protocol protocol.Kind
+	// Params are the protocol constants (Δ1, Δ2, fan-out, ...).
+	Params protocol.Params
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Crypto selects the provider; empty means CryptoFast.
+	Crypto CryptoProvider
+
+	// WindowFrom/WindowTo delimit the experiment window.
+	WindowFrom, WindowTo sim.Time
+	// Warmup is how much trace before the window feeds quality tables.
+	Warmup sim.Time
+	// RunExtra extends the simulation beyond the window end so pending G2G
+	// test phases can complete; the paper's Δ2 is the natural value.
+	RunExtra sim.Time
+
+	// MessageInterval is the mean Poisson inter-generation time (the paper
+	// uses one message per 4 seconds).
+	MessageInterval sim.Time
+	// GenerationQuiet suppresses generation during the final part of the
+	// window to avoid end effects (the paper uses one hour).
+	GenerationQuiet sim.Time
+	// PayloadBytes sizes the message bodies (default 64).
+	PayloadBytes int
+	// EventLog, when non-nil, receives one JSON line per protocol event
+	// (generate/replicate/deliver/test/detect) for debugging and offline
+	// analysis. Metrics are unaffected.
+	EventLog io.Writer
+
+	// Deviants lists the nodes that deviate, all with the same deviation.
+	Deviants []trace.NodeID
+	// Deviation is the deviants' strategy.
+	Deviation protocol.Deviation
+	// OnlyOutsiders restricts the deviation to other communities
+	// ("selfishness with outsiders").
+	OnlyOutsiders bool
+	// Communities overrides k-clique detection (mostly for tests); when nil
+	// and OnlyOutsiders is set, communities are detected on the trace.
+	Communities *kclique.Communities
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Trace == nil:
+		return errors.New("engine: nil trace")
+	case c.Trace.Nodes() < 2:
+		return errors.New("engine: need at least two nodes")
+	case c.WindowTo <= c.WindowFrom:
+		return fmt.Errorf("engine: empty window [%v,%v)", c.WindowFrom, c.WindowTo)
+	case c.MessageInterval <= 0:
+		return errors.New("engine: message interval must be positive")
+	case c.GenerationQuiet < 0 || c.GenerationQuiet >= c.WindowTo-c.WindowFrom:
+		return errors.New("engine: generation quiet period must fit inside the window")
+	case c.Warmup < 0 || c.RunExtra < 0:
+		return errors.New("engine: negative warmup or run-extra")
+	case c.PayloadBytes < 0:
+		return errors.New("engine: negative payload size")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	for _, d := range c.Deviants {
+		if int(d) < 0 || int(d) >= c.Trace.Nodes() {
+			return fmt.Errorf("engine: deviant %d outside population", d)
+		}
+	}
+	return nil
+}
+
+// Result is everything a run produced.
+type Result struct {
+	Summary   metrics.Summary
+	Detection metrics.DetectionSummary
+	// Collector exposes the raw event aggregates.
+	Collector *metrics.Collector
+	// Communities is non-nil when community detection ran.
+	Communities *kclique.Communities
+	// Usage holds each node's resource accounting (indexed by node id):
+	// the energy/memory inputs of the paper's payoff function.
+	Usage []protocol.Usage
+	// EndedAt is the virtual time the simulation settled.
+	EndedAt sim.Time
+}
+
+// DefaultWorkload fills in the paper's standard workload settings for a
+// 3-hour window starting at `from`.
+func DefaultWorkload(cfg *Config, from sim.Time) {
+	cfg.WindowFrom = from
+	cfg.WindowTo = from + 3*sim.Hour
+	cfg.MessageInterval = 4 * sim.Second
+	cfg.GenerationQuiet = sim.Hour
+	cfg.Warmup = 12 * sim.Hour
+	cfg.RunExtra = cfg.Params.Delta2
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+type engine struct {
+	cfg       Config
+	sys       g2gcrypto.System
+	env       *protocol.Env
+	collector *metrics.Collector
+	nodes     []protocol.Node
+	comms     *kclique.Communities
+
+	// active tracks currently overlapping contacts per pair.
+	active map[trace.PairKey]int
+	// neighbors caches each node's current radio neighborhood.
+	neighbors []map[trace.NodeID]struct{}
+
+	workloadRNG *sim.RNG
+	startAt     sim.Time
+	endAt       sim.Time
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = 64
+	}
+	population := cfg.Trace.Nodes()
+
+	var sys g2gcrypto.System
+	var err error
+	switch cfg.Crypto {
+	case CryptoReal:
+		sys, err = g2gcrypto.NewReal(population, nil)
+	case CryptoFast, "":
+		sys, err = g2gcrypto.NewFast(population, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("engine: unknown crypto provider %q", cfg.Crypto)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	collector := metrics.NewCollector()
+	var observer protocol.Observer = collector
+	if cfg.EventLog != nil {
+		observer = newEventLogger(cfg.EventLog, collector)
+	}
+	env, err := protocol.NewEnv(sys, cfg.Params, observer,
+		sim.StreamFromSeed(cfg.Seed, "protocol"))
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:         cfg,
+		sys:         sys,
+		env:         env,
+		collector:   collector,
+		active:      make(map[trace.PairKey]int),
+		neighbors:   make([]map[trace.NodeID]struct{}, population),
+		workloadRNG: sim.StreamFromSeed(cfg.Seed, "workload"),
+	}
+	for i := range e.neighbors {
+		e.neighbors[i] = make(map[trace.NodeID]struct{})
+	}
+	env.Broadcast = e.broadcast
+
+	behavior, err := e.buildBehavior()
+	if err != nil {
+		return nil, err
+	}
+	deviant := make(map[trace.NodeID]struct{}, len(cfg.Deviants))
+	for _, d := range cfg.Deviants {
+		deviant[d] = struct{}{}
+	}
+	for i := 0; i < population; i++ {
+		id, err := sys.Identity(trace.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		b := protocol.Behavior{}
+		if _, isDeviant := deviant[trace.NodeID(i)]; isDeviant {
+			b = behavior
+		}
+		node, err := protocol.New(cfg.Protocol, env, id, b)
+		if err != nil {
+			return nil, err
+		}
+		e.nodes = append(e.nodes, node)
+	}
+
+	e.startAt = cfg.WindowFrom - cfg.Warmup
+	if e.startAt < 0 {
+		e.startAt = 0
+	}
+	e.endAt = cfg.WindowTo + cfg.RunExtra
+	return e, nil
+}
+
+// buildBehavior assembles the deviants' behavior, running community
+// detection when the deviation is restricted to outsiders.
+func (e *engine) buildBehavior() (protocol.Behavior, error) {
+	b := protocol.Behavior{
+		Deviation:     e.cfg.Deviation,
+		OnlyOutsiders: e.cfg.OnlyOutsiders,
+	}
+	if !e.cfg.OnlyOutsiders {
+		return b, nil
+	}
+	comms := e.cfg.Communities
+	if comms == nil {
+		var err error
+		comms, err = kclique.DetectAuto(e.cfg.Trace, kclique.DefaultOptions().K)
+		if err != nil {
+			return b, fmt.Errorf("engine: community detection: %w", err)
+		}
+	}
+	e.comms = comms
+	b.SameCommunity = comms.SameCommunity
+	return b, nil
+}
+
+func (e *engine) broadcast(pom wire.Signed) {
+	for _, n := range e.nodes {
+		n.DeliverPoM(pom)
+	}
+}
+
+func (e *engine) run() (*Result, error) {
+	s := sim.New()
+
+	if err := e.scheduleContacts(s); err != nil {
+		return nil, err
+	}
+	if err := e.scheduleWorkload(s); err != nil {
+		return nil, err
+	}
+	if err := e.scheduleMemorySampling(s); err != nil {
+		return nil, err
+	}
+
+	endedAt, err := s.RunUntil(e.endAt)
+	if err != nil {
+		return nil, err
+	}
+
+	usage := make([]protocol.Usage, len(e.nodes))
+	for i, n := range e.nodes {
+		usage[i] = n.UsageSnapshot()
+	}
+	result := &Result{
+		Summary:     e.collector.Summarize(),
+		Detection:   e.collector.SummarizeDetection(e.cfg.Deviants),
+		Collector:   e.collector,
+		Communities: e.comms,
+		Usage:       usage,
+		EndedAt:     endedAt,
+	}
+	return result, nil
+}
+
+// scheduleMemorySampling integrates each node's buffer occupancy over the
+// experiment window ("using one KByte for one second or for one year does
+// not have the same cost").
+func (e *engine) scheduleMemorySampling(s *sim.Simulator) error {
+	interval := protocol.MemorySampleInterval()
+	var tick func(s *sim.Simulator)
+	tick = func(s *sim.Simulator) {
+		dt := sim.SecondsOf(interval)
+		for _, n := range e.nodes {
+			n.AddMemorySample(float64(n.MemoryBytes()) * dt)
+		}
+		if s.Now().Add(interval) < e.endAt {
+			if _, err := s.After(interval, tick); err != nil {
+				panic(fmt.Sprintf("engine: memory sampler: %v", err))
+			}
+		}
+	}
+	_, err := s.Schedule(e.cfg.WindowFrom, tick)
+	return err
+}
+
+// scheduleContacts turns the trace's contact intervals into start/end
+// events within [startAt, endAt).
+func (e *engine) scheduleContacts(s *sim.Simulator) error {
+	for _, c := range e.cfg.Trace.Contacts() {
+		if c.End <= e.startAt || c.Start >= e.endAt {
+			continue
+		}
+		c := c
+		start := c.Start
+		if start < e.startAt {
+			start = e.startAt
+		}
+		if _, err := s.Schedule(start, func(s *sim.Simulator) {
+			e.contactStart(s.Now(), c.A, c.B)
+		}); err != nil {
+			return err
+		}
+		end := c.End
+		if end > e.endAt {
+			end = e.endAt
+		}
+		if _, err := s.Schedule(end, func(*sim.Simulator) {
+			e.contactEnd(c.A, c.B)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scheduleWorkload draws the Poisson message generation process.
+func (e *engine) scheduleWorkload(s *sim.Simulator) error {
+	genEnd := e.cfg.WindowTo - e.cfg.GenerationQuiet
+	population := e.cfg.Trace.Nodes()
+	at := e.cfg.WindowFrom + e.workloadRNG.Exp(e.cfg.MessageInterval)
+	for at < genEnd {
+		src := trace.NodeID(e.workloadRNG.Intn(population))
+		dst := trace.NodeID(e.workloadRNG.Intn(population))
+		for dst == src {
+			dst = trace.NodeID(e.workloadRNG.Intn(population))
+		}
+		body := make([]byte, e.cfg.PayloadBytes)
+		e.workloadRNG.Bytes(body)
+		genAt := at
+		if _, err := s.Schedule(genAt, func(s *sim.Simulator) {
+			e.generate(s.Now(), src, dst, body)
+		}); err != nil {
+			return err
+		}
+		at += e.workloadRNG.Exp(e.cfg.MessageInterval)
+	}
+	return nil
+}
+
+func (e *engine) generate(now sim.Time, src, dst trace.NodeID, body []byte) {
+	if err := e.nodes[src].Generate(now, dst, body); err != nil {
+		// Generation can only fail on programmer error (self-destined);
+		// the workload generator never produces that.
+		panic(fmt.Sprintf("engine: generate: %v", err))
+	}
+	// The new message can ride any contact already in progress.
+	e.cascadeFrom(now, src)
+}
+
+func (e *engine) contactStart(now sim.Time, a, b trace.NodeID) {
+	e.nodes[a].ObserveMeeting(now, b)
+	e.nodes[b].ObserveMeeting(now, a)
+	key := trace.MakePairKey(a, b)
+	e.active[key]++
+	if e.active[key] == 1 {
+		e.neighbors[a][b] = struct{}{}
+		e.neighbors[b][a] = struct{}{}
+	}
+	if now < e.cfg.WindowFrom {
+		return // warm-up: quality bookkeeping only
+	}
+	if e.sessionPair(now, a, b) {
+		e.cascadeFrom(now, a)
+		e.cascadeFrom(now, b)
+	}
+}
+
+func (e *engine) contactEnd(a, b trace.NodeID) {
+	key := trace.MakePairKey(a, b)
+	if e.active[key] == 0 {
+		return
+	}
+	e.active[key]--
+	if e.active[key] == 0 {
+		delete(e.active, key)
+		delete(e.neighbors[a], b)
+		delete(e.neighbors[b], a)
+	}
+}
+
+// sessionPair runs both directions of an encounter session; it reports
+// whether any custody moved.
+func (e *engine) sessionPair(now sim.Time, a, b trace.NodeID) bool {
+	na, nb := e.nodes[a], e.nodes[b]
+	if na.Blacklisted(b) || nb.Blacklisted(a) {
+		return false
+	}
+	moved := false
+	if t, err := na.RunSession(now, nb); err == nil && t {
+		moved = true
+	}
+	if t, err := nb.RunSession(now, na); err == nil && t {
+		moved = true
+	}
+	return moved
+}
+
+// cascadeFrom propagates new custody through the current connectivity
+// component: a node that just received messages immediately runs sessions
+// with its other active neighbors, as the radios are still in range.
+func (e *engine) cascadeFrom(now sim.Time, origin trace.NodeID) {
+	if now < e.cfg.WindowFrom {
+		return
+	}
+	queue := []trace.NodeID{origin}
+	// The budget bounds pathological cascades; seen-sets guarantee natural
+	// termination long before it is hit.
+	budget := 4 * len(e.nodes) * len(e.nodes)
+	for len(queue) > 0 && budget > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, peer := range sortedNeighbors(e.neighbors[n]) {
+			budget--
+			if e.sessionPair(now, n, peer) {
+				queue = append(queue, peer)
+			}
+		}
+	}
+}
+
+func sortedNeighbors(set map[trace.NodeID]struct{}) []trace.NodeID {
+	out := make([]trace.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// GenerateTrace is a convenience for experiments: build a preset's trace.
+func GenerateTrace(cfg mobility.Config, seed int64) (*trace.Trace, error) {
+	return mobility.Generate(cfg, seed)
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// eventLogger tees protocol events to a JSON-lines stream for debugging and
+// offline analysis, while forwarding them to the real metrics collector.
+// Each line is one event:
+//
+//	{"t":"2m5s","event":"deliver","msg":"ab12cd34",...}
+type eventLogger struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	inner protocol.Observer
+}
+
+var _ protocol.Observer = (*eventLogger)(nil)
+
+func newEventLogger(w io.Writer, inner protocol.Observer) *eventLogger {
+	return &eventLogger{enc: json.NewEncoder(w), inner: inner}
+}
+
+// eventRecord is the wire shape of one log line. Pointer fields are omitted
+// when not applicable to the event type.
+type eventRecord struct {
+	T     string `json:"t"`
+	Event string `json:"event"`
+	Msg   string `json:"msg,omitempty"`
+	From  *int   `json:"from,omitempty"`
+	To    *int   `json:"to,omitempty"`
+	Node  *int   `json:"node,omitempty"`
+	// Reason is set on detect events; Passed on test events.
+	Reason string `json:"reason,omitempty"`
+	Passed *bool  `json:"passed,omitempty"`
+}
+
+func (l *eventLogger) emit(rec eventRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// An unwritable log must not break the simulation; the metrics path is
+	// authoritative.
+	_ = l.enc.Encode(rec)
+}
+
+func shortHash(h g2gcrypto.Digest) string { return hex.EncodeToString(h[:4]) }
+
+func intPtr(n trace.NodeID) *int {
+	v := int(n)
+	return &v
+}
+
+// Generated implements protocol.Observer.
+func (l *eventLogger) Generated(h g2gcrypto.Digest, id message.ID, src, dst trace.NodeID, at sim.Time) {
+	l.inner.Generated(h, id, src, dst, at)
+	l.emit(eventRecord{T: at.String(), Event: "generate", Msg: shortHash(h),
+		From: intPtr(src), To: intPtr(dst)})
+}
+
+// Replicated implements protocol.Observer.
+func (l *eventLogger) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at sim.Time) {
+	l.inner.Replicated(h, from, to, at)
+	l.emit(eventRecord{T: at.String(), Event: "replicate", Msg: shortHash(h),
+		From: intPtr(from), To: intPtr(to)})
+}
+
+// Delivered implements protocol.Observer.
+func (l *eventLogger) Delivered(h g2gcrypto.Digest, at sim.Time) {
+	l.inner.Delivered(h, at)
+	l.emit(eventRecord{T: at.String(), Event: "deliver", Msg: shortHash(h)})
+}
+
+// Detected implements protocol.Observer.
+func (l *eventLogger) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, h g2gcrypto.Digest, at, ttlExpiry sim.Time) {
+	l.inner.Detected(accused, reason, h, at, ttlExpiry)
+	l.emit(eventRecord{T: at.String(), Event: "detect", Msg: shortHash(h),
+		Node: intPtr(accused), Reason: reason.String()})
+}
+
+// Tested implements protocol.Observer.
+func (l *eventLogger) Tested(accused trace.NodeID, passed bool, at sim.Time) {
+	l.inner.Tested(accused, passed, at)
+	l.emit(eventRecord{T: at.String(), Event: "test", Node: intPtr(accused), Passed: &passed})
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"give2get/internal/engine"
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/metrics"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+)
+
+// AblationFanout studies the "relay to exactly two nodes" design choice of
+// Section IV: cost, success, and dropper detection as the fan-out limit
+// varies. Fan-out 2 is the paper's sweet spot: unbounded fan-out is vanilla
+// epidemic cost, fan-out 1 starves delivery.
+func AblationFanout(opts Options) ([]*metrics.Table, error) {
+	scenario := Infocom()
+	tr, err := scenario.Trace()
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"Ablation: G2G Epidemic relay fan-out limit (Infocom05)",
+		"max relays", "cost (replicas/msg)", "success %", "dropper detection %")
+	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-fanout")
+	for _, fanout := range []int{1, 2, 3, 4, 8} {
+		res, err := opts.run(runSpec{
+			scenario:  scenario,
+			kind:      protocol.G2GEpidemic,
+			delta1:    scenario.EpidemicTTL,
+			maxRelays: fanout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		det, err := opts.run(runSpec{
+			scenario:  scenario,
+			kind:      protocol.G2GEpidemic,
+			delta1:    scenario.EpidemicTTL,
+			maxRelays: fanout,
+			deviants:  deviants,
+			deviation: protocol.Dropper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
+		opts.logf("abl-fanout %d cost=%.2f success=%.1f%% detect=%.1f%%",
+			fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
+	}
+	return []*metrics.Table{tbl}, nil
+}
+
+// AblationDelta2 studies the Δ2/Δ1 trade-off of Section IV-B: a short test
+// window saves memory but misses re-encounters; the paper picks Δ2 = 2Δ1.
+func AblationDelta2(opts Options) ([]*metrics.Table, error) {
+	scenario := Infocom()
+	tr, err := scenario.Trace()
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"Ablation: Δ2/Δ1 ratio vs dropper detection (G2G Epidemic, Infocom05)",
+		"Δ2/Δ1", "detection rate %", "avg detection time (min after Δ1)")
+	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-delta2")
+	for _, factor := range []float64{1.25, 1.5, 2, 3, 4} {
+		res, err := opts.run(runSpec{
+			scenario:     scenario,
+			kind:         protocol.G2GEpidemic,
+			delta1:       scenario.EpidemicTTL,
+			delta2Factor: factor,
+			deviants:     deviants,
+			deviation:    protocol.Dropper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%.2f", factor), res.Detection.Rate,
+			minutes(res.Detection.MeanTimeAfterTTL))
+		opts.logf("abl-delta2 %.2f rate=%.1f%%", factor, res.Detection.Rate)
+	}
+	return []*metrics.Table{tbl}, nil
+}
+
+// AblationTimeframe studies the quality-timeframe length of Section VI-A:
+// the frame must be long enough that message delay falls within the last
+// two completed frames, or the destination cannot audit liars.
+func AblationTimeframe(opts Options) ([]*metrics.Table, error) {
+	scenario := Infocom()
+	tr, err := scenario.Trace()
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"Ablation: quality timeframe vs liar detection (G2G Delegation DLC, Infocom05)",
+		"frame (min)", "liar detection rate %")
+	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-frame")
+	for _, frame := range []sim.Time{10 * sim.Minute, 20 * sim.Minute, 34 * sim.Minute,
+		60 * sim.Minute, 90 * sim.Minute} {
+		res, err := opts.run(runSpec{
+			scenario:     scenario,
+			kind:         protocol.G2GDelegationLastContact,
+			delta1:       scenario.DelegationTTL,
+			qualityFrame: frame,
+			deviants:     deviants,
+			deviation:    protocol.Liar,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(int(sim.SecondsOf(frame)/60), res.Detection.Rate)
+		opts.logf("abl-frame %v rate=%.1f%%", frame, res.Detection.Rate)
+	}
+	return []*metrics.Table{tbl}, nil
+}
+
+// AblationCrypto compares the Real and Fast crypto providers end to end and
+// reports the heavy-HMAC cost curve, quantifying the simulation substitution
+// documented in DESIGN.md.
+func AblationCrypto(opts Options) ([]*metrics.Table, error) {
+	scenario := Infocom()
+	tbl := metrics.NewTable(
+		"Ablation: crypto provider (G2G Epidemic, Infocom05)",
+		"provider", "wall time (s)", "success %", "cost (replicas/msg)")
+	for _, provider := range []engine.CryptoProvider{engine.CryptoFast, engine.CryptoReal} {
+		started := time.Now()
+		res, err := opts.run(runSpec{
+			scenario: scenario,
+			kind:     protocol.G2GEpidemic,
+			delta1:   scenario.EpidemicTTL,
+			crypto:   provider,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(started).Seconds()
+		tbl.AddRow(string(provider), fmt.Sprintf("%.2f", elapsed),
+			res.Summary.SuccessRate, res.Summary.MeanCost)
+		opts.logf("abl-crypto %s %.2fs", provider, elapsed)
+	}
+
+	mac := metrics.NewTable(
+		"Ablation: heavy-HMAC iterations vs compute cost (1 KiB message)",
+		"iterations", "µs per proof")
+	msg := make([]byte, 1024)
+	seed := []byte("seed")
+	for _, iters := range []int{1, 64, 1024, 16384} {
+		const reps = 20
+		started := time.Now()
+		for i := 0; i < reps; i++ {
+			g2gcrypto.HeavyHMAC(msg, seed, iters)
+		}
+		perOp := time.Since(started).Microseconds() / reps
+		mac.AddRow(iters, perOp)
+	}
+	return []*metrics.Table{tbl, mac}, nil
+}

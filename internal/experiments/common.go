@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"give2get/internal/engine"
+	"give2get/internal/kclique"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// Options tune how heavy an experiment run is.
+type Options struct {
+	// Quick trades workload volume for speed: a reduced message rate and a
+	// coarser sweep. Benchmarks and CI use it; cmd/g2gexp defaults to the
+	// paper's full workload.
+	Quick bool
+	// Tiny shrinks runs further (unit-test scale): a very light message
+	// rate and two-point sweeps. Implies Quick.
+	Tiny bool
+	// Seed randomizes deviant selection and the workload.
+	Seed int64
+	// Repeats averages every measurement over this many independent seeds
+	// (seed, seed+1, ...). Zero means one run.
+	Repeats int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// interval is the mean Poisson message inter-generation time: the paper's
+// one message per 4 seconds, or a lighter rate in quick mode.
+func (o Options) interval() sim.Time {
+	switch {
+	case o.Tiny:
+		return 75 * sim.Second
+	case o.Quick:
+		return 20 * sim.Second
+	default:
+		return 4 * sim.Second
+	}
+}
+
+// sweep returns the deviant counts of the x-axes in Figs. 3-5 and 7,
+// bounded by the population (the paper sweeps 0..45 in steps of 5).
+func (o Options) sweep(population int) []int {
+	if o.Tiny {
+		return []int{0, population / 2}
+	}
+	step := 5
+	if o.Quick {
+		step = 10
+	}
+	var out []int
+	for n := 0; n < population; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// heavyIterations keeps the storage-proof cost out of the experiment hot
+// path; the crypto ablation studies the real cost separately.
+const heavyIterations = 64
+
+// runSpec describes one simulation of the harness.
+type runSpec struct {
+	scenario      Scenario
+	kind          protocol.Kind
+	delta1        sim.Time
+	deviants      []trace.NodeID
+	deviation     protocol.Deviation
+	onlyOutsiders bool
+	maxRelays     int // 0 means the paper's 2
+	delta2Factor  float64
+	qualityFrame  sim.Time // 0 means the paper's 34 minutes
+	crypto        engine.CryptoProvider
+}
+
+// runStats are the per-run measurements the experiment tables report,
+// averaged over Options.Repeats seeds.
+type runStats struct {
+	Success        float64
+	Cost           float64
+	CostToDelivery float64
+	DelayMinutes   float64
+	DetectionRate  float64
+	// DetectionMinutes is the mean detection time after TTL, averaged over
+	// the repeats that detected anything.
+	DetectionMinutes float64
+	// FalseAccusations sums over repeats (the protocols guarantee zero).
+	FalseAccusations int
+}
+
+// measure runs the spec Repeats times with consecutive seeds and averages
+// the table metrics.
+func (o Options) measure(spec runSpec) (runStats, error) {
+	repeats := o.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var out runStats
+	detRuns := 0
+	for r := 0; r < repeats; r++ {
+		opts := o
+		opts.Seed = o.Seed + int64(r)
+		res, err := opts.run(spec)
+		if err != nil {
+			return runStats{}, err
+		}
+		out.Success += res.Summary.SuccessRate
+		out.Cost += res.Summary.MeanCost
+		out.CostToDelivery += res.Summary.MeanCostToDelivery
+		out.DelayMinutes += sim.SecondsOf(res.Summary.MeanDelay) / 60
+		out.DetectionRate += res.Detection.Rate
+		out.FalseAccusations += res.Detection.FalseAccusations
+		if res.Detection.Detected > 0 {
+			out.DetectionMinutes += sim.SecondsOf(res.Detection.MeanTimeAfterTTL) / 60
+			detRuns++
+		}
+	}
+	n := float64(repeats)
+	out.Success /= n
+	out.Cost /= n
+	out.CostToDelivery /= n
+	out.DelayMinutes /= n
+	out.DetectionRate /= n
+	if detRuns > 0 {
+		out.DetectionMinutes /= float64(detRuns)
+	}
+	return out, nil
+}
+
+// run executes one simulation described by the spec.
+func (o Options) run(spec runSpec) (*engine.Result, error) {
+	tr, err := spec.scenario.Trace()
+	if err != nil {
+		return nil, err
+	}
+	params := protocol.DefaultParams(spec.delta1)
+	params.HeavyHMACIterations = heavyIterations
+	if spec.maxRelays > 0 {
+		params.MaxRelays = spec.maxRelays
+	}
+	if spec.delta2Factor > 0 {
+		params.Delta2 = sim.Time(float64(spec.delta1) * spec.delta2Factor)
+	}
+	if spec.qualityFrame > 0 {
+		params.QualityFrame = spec.qualityFrame
+	}
+
+	cfg := engine.Config{
+		Trace:         tr,
+		Protocol:      spec.kind,
+		Params:        params,
+		Seed:          o.Seed,
+		Crypto:        spec.crypto,
+		Deviants:      spec.deviants,
+		Deviation:     spec.deviation,
+		OnlyOutsiders: spec.onlyOutsiders,
+	}
+	if spec.onlyOutsiders {
+		comms, err := scenarioCommunities(spec.scenario)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Communities = comms
+	}
+	from, _ := spec.scenario.Window()
+	engine.DefaultWorkload(&cfg, from)
+	cfg.MessageInterval = o.interval()
+	return engine.Run(cfg)
+}
+
+// pickDeviants selects n deviating nodes deterministically from the seed.
+func (o Options) pickDeviants(population, n int, label string) []trace.NodeID {
+	if n <= 0 {
+		return nil
+	}
+	if n > population {
+		n = population
+	}
+	rng := sim.StreamFromSeed(o.Seed, "deviants:"+label)
+	perm := rng.Perm(population)
+	out := make([]trace.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = trace.NodeID(perm[i])
+	}
+	return out
+}
+
+// scenarioCommunities memoizes k-clique detection per scenario.
+func scenarioCommunities(s Scenario) (*kclique.Communities, error) {
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	key := s.Mobility.Name
+	commCacheMu.Lock()
+	defer commCacheMu.Unlock()
+	if c, ok := commCache[key]; ok {
+		return c, nil
+	}
+	c, err := kclique.DetectAuto(tr, kclique.DefaultOptions().K)
+	if err != nil {
+		return nil, err
+	}
+	commCache[key] = c
+	return c, nil
+}
+
+var (
+	commCacheMu sync.Mutex
+	commCache   = make(map[string]*kclique.Communities)
+)
+
+// minutes renders a sim.Time as decimal minutes for table cells.
+func minutes(t sim.Time) string {
+	return fmt.Sprintf("%.1f", sim.SecondsOf(t)/60)
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 1}
+}
+
+func TestScenarioTracesCachedAndValid(t *testing.T) {
+	for _, s := range BothScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			tr, err := s.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := s.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr != again {
+				t.Error("trace not memoized")
+			}
+			from, to := s.Window()
+			if to-from != 3*sim.Hour {
+				t.Errorf("window = %v", to-from)
+			}
+			_, last := tr.Span()
+			if to > last {
+				t.Errorf("window [%v,%v) beyond trace end %v", from, to, last)
+			}
+		})
+	}
+}
+
+func TestSweep(t *testing.T) {
+	full := Options{}.sweep(41)
+	if full[0] != 0 || full[len(full)-1] != 40 || len(full) != 9 {
+		t.Errorf("full sweep = %v", full)
+	}
+	quick := Options{Quick: true}.sweep(36)
+	if len(quick) != 4 || quick[len(quick)-1] != 30 {
+		t.Errorf("quick sweep = %v", quick)
+	}
+}
+
+func TestPickDeviants(t *testing.T) {
+	opts := Options{Seed: 3}
+	a := opts.pickDeviants(20, 5, "x")
+	b := opts.pickDeviants(20, 5, "x")
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("deviant selection not deterministic")
+		}
+	}
+	seen := map[int]bool{}
+	for _, d := range a {
+		if seen[int(d)] || int(d) >= 20 {
+			t.Fatalf("invalid deviant set %v", a)
+		}
+		seen[int(d)] = true
+	}
+	if got := opts.pickDeviants(3, 10, "y"); len(got) != 3 {
+		t.Errorf("overrequest yielded %d deviants", len(got))
+	}
+	if got := opts.pickDeviants(3, 0, "z"); got != nil {
+		t.Errorf("zero request yielded %v", got)
+	}
+}
+
+func TestRegistryKnownIDs(t *testing.T) {
+	ids := IDs()
+	want := []string{"abl-crypto", "abl-delta2", "abl-fanout", "abl-timeframe",
+		"fig3", "fig4", "fig5", "fig7", "fig8", "memory", "payoff", "secV", "table1"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if _, err := Run("nope", quickOpts()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestSecVQuick exercises a full detection experiment end to end at the
+// quick scale and sanity-checks the headline claim: G2G Epidemic detects
+// most droppers within minutes.
+func TestSecVQuick(t *testing.T) {
+	tables, err := SecV(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Rows() != 4 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	var b strings.Builder
+	if err := tables[0].Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Infocom05") || !strings.Contains(b.String(), "Cambridge06") {
+		t.Errorf("render:\n%s", b.String())
+	}
+}
+
+// TestFig8Quick checks the performance comparison shape at quick scale:
+// G2G Epidemic must cost less than Epidemic while staying close on success.
+func TestFig8Quick(t *testing.T) {
+	opts := quickOpts()
+	scenario := Infocom()
+	epidemic, err := opts.run(runSpec{
+		scenario: scenario, kind: protocol.Epidemic, delta1: scenario.EpidemicTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2g, err := opts.run(runSpec{
+		scenario: scenario, kind: protocol.G2GEpidemic, delta1: scenario.EpidemicTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2g.Summary.MeanCost >= epidemic.Summary.MeanCost {
+		t.Errorf("G2G cost %.2f not below Epidemic %.2f",
+			g2g.Summary.MeanCost, epidemic.Summary.MeanCost)
+	}
+	if g2g.Summary.SuccessRate < epidemic.Summary.SuccessRate-20 {
+		t.Errorf("G2G success %.1f%% too far below Epidemic %.1f%%",
+			g2g.Summary.SuccessRate, epidemic.Summary.SuccessRate)
+	}
+}
+
+// TestAllExperimentsTiny drives every registered experiment at unit-test
+// scale: each driver must produce at least one non-empty table without
+// error. This is the integration test for the whole reproduction pipeline.
+func TestAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny experiment sweep skipped in -short mode")
+	}
+	opts := Options{Tiny: true, Quick: true, Seed: 1}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if tbl.Rows() == 0 {
+					t.Errorf("table %q has no rows", tbl.Title)
+				}
+				var b strings.Builder
+				if err := tbl.Render(&b); err != nil {
+					t.Fatal(err)
+				}
+				if len(b.String()) == 0 {
+					t.Error("empty render")
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureAveragesOverRepeats(t *testing.T) {
+	opts := Options{Tiny: true, Quick: true, Seed: 1, Repeats: 2}
+	scenario := Infocom()
+	stats, err := opts.measure(runSpec{
+		scenario: scenario, kind: protocol.Epidemic, delta1: scenario.EpidemicTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Success <= 0 || stats.Success > 100 {
+		t.Errorf("averaged success = %v", stats.Success)
+	}
+	if stats.Cost <= 0 || stats.CostToDelivery <= 0 {
+		t.Errorf("averaged costs = %v / %v", stats.Cost, stats.CostToDelivery)
+	}
+	// The average of two seeds should differ from either single seed (with
+	// overwhelming probability on a stochastic workload).
+	single, err := Options{Tiny: true, Quick: true, Seed: 1}.measure(runSpec{
+		scenario: scenario, kind: protocol.Epidemic, delta1: scenario.EpidemicTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single == stats {
+		t.Error("repeats had no effect on the measurement")
+	}
+}

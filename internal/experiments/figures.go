@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+
+	"give2get/internal/metrics"
+	"give2get/internal/protocol"
+)
+
+// Fig3 reproduces Figure 3: the effect of message droppers on vanilla
+// Epidemic Forwarding — delivery rate versus the number of droppers, for
+// plain selfishness and selfishness with outsiders, on both traces.
+func Fig3(opts Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Fig. 3 (%s): Epidemic delivery %% vs message droppers", scenario.Name),
+			"droppers", "delivery% (selfish)", "delivery% (with outsiders)")
+		tr, err := scenario.Trace()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range opts.sweep(tr.Nodes()) {
+			deviants := opts.pickDeviants(tr.Nodes(), n, "fig3")
+			row := []any{n}
+			for _, outsiders := range []bool{false, true} {
+				stats, err := opts.measure(runSpec{
+					scenario:      scenario,
+					kind:          protocol.Epidemic,
+					delta1:        scenario.EpidemicTTL,
+					deviants:      deviants,
+					deviation:     protocol.Dropper,
+					onlyOutsiders: outsiders,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.Success)
+				opts.logf("fig3 %s droppers=%d outsiders=%v delivery=%.1f%%",
+					scenario.Name, n, outsiders, stats.Success)
+			}
+			tbl.AddRow(row...)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig4 reproduces Figure 4: G2G Epidemic's average dropper detection time
+// (after the message TTL Δ1 expires) versus the number of droppers.
+func Fig4(opts Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Fig. 4 (%s): G2G Epidemic avg detection time (min after Δ1) vs droppers", scenario.Name),
+			"droppers", "detect-min (selfish)", "rate%", "detect-min (outsiders)", "rate%")
+		tr, err := scenario.Trace()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range opts.sweep(tr.Nodes()) {
+			if n == 0 {
+				continue // no droppers, nothing to detect
+			}
+			deviants := opts.pickDeviants(tr.Nodes(), n, "fig4")
+			row := []any{n}
+			for _, outsiders := range []bool{false, true} {
+				stats, err := opts.measure(runSpec{
+					scenario:      scenario,
+					kind:          protocol.G2GEpidemic,
+					delta1:        scenario.EpidemicTTL,
+					deviants:      deviants,
+					deviation:     protocol.Dropper,
+					onlyOutsiders: outsiders,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes), stats.DetectionRate)
+				opts.logf("fig4 %s droppers=%d outsiders=%v rate=%.1f%% time=%.1fm",
+					scenario.Name, n, outsiders, stats.DetectionRate, stats.DetectionMinutes)
+			}
+			tbl.AddRow(row...)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// SecV reproduces the Section V detection-probability numbers for G2G
+// Epidemic (the paper reports 94.7 % for plain selfishness and 91.3 % for
+// selfishness with outsiders) at a representative dropper count.
+func SecV(opts Options) ([]*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"Sec. V: G2G Epidemic dropper detection probability",
+		"trace", "flavor", "detection rate %", "avg time after Δ1 (min)")
+	for _, scenario := range BothScenarios() {
+		tr, err := scenario.Trace()
+		if err != nil {
+			return nil, err
+		}
+		n := tr.Nodes() / 4
+		deviants := opts.pickDeviants(tr.Nodes(), n, "secv")
+		for _, outsiders := range []bool{false, true} {
+			stats, err := opts.measure(runSpec{
+				scenario:      scenario,
+				kind:          protocol.G2GEpidemic,
+				delta1:        scenario.EpidemicTTL,
+				deviants:      deviants,
+				deviation:     protocol.Dropper,
+				onlyOutsiders: outsiders,
+			})
+			if err != nil {
+				return nil, err
+			}
+			flavor := "selfish"
+			if outsiders {
+				flavor = "selfish with outsiders"
+			}
+			tbl.AddRow(scenario.Name, flavor, stats.DetectionRate,
+				fmt.Sprintf("%.1f", stats.DetectionMinutes))
+			opts.logf("secV %s %s rate=%.1f%%", scenario.Name, flavor, stats.DetectionRate)
+		}
+	}
+	return []*metrics.Table{tbl}, nil
+}
+
+// Fig5 reproduces Figure 5: the effect of droppers and liars on vanilla
+// Delegation Forwarding (Destination Last Contact), on both traces, for
+// both selfishness flavors.
+func Fig5(opts Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar} {
+			tbl := metrics.NewTable(
+				fmt.Sprintf("Fig. 5 (%s): Delegation (DLC) delivery %% vs %ss", scenario.Name, deviation),
+				deviation.String()+"s", "delivery% (selfish)", "delivery% (with outsiders)")
+			tr, err := scenario.Trace()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range opts.sweep(tr.Nodes()) {
+				deviants := opts.pickDeviants(tr.Nodes(), n, "fig5")
+				row := []any{n}
+				for _, outsiders := range []bool{false, true} {
+					stats, err := opts.measure(runSpec{
+						scenario:      scenario,
+						kind:          protocol.DelegationLastContact,
+						delta1:        scenario.DelegationTTL,
+						deviants:      deviants,
+						deviation:     deviation,
+						onlyOutsiders: outsiders,
+					})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, stats.Success)
+					opts.logf("fig5 %s %s=%d outsiders=%v delivery=%.1f%%",
+						scenario.Name, deviation, n, outsiders, stats.Success)
+				}
+				tbl.AddRow(row...)
+			}
+			out = append(out, tbl)
+		}
+	}
+	return out, nil
+}
+
+// Table1 reproduces Table I: G2G Delegation's detection rate and average
+// detection time for droppers, liars, and cheaters — plain and
+// with-outsiders — on both traces.
+func Table1(opts Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Table I (%s): G2G Delegation (DLC) detection of deviants", scenario.Name),
+			"deviation", "detection rate %", "avg detection time (min after Δ1)")
+		tr, err := scenario.Trace()
+		if err != nil {
+			return nil, err
+		}
+		n := tr.Nodes() / 4
+		for _, outsiders := range []bool{false, true} {
+			for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar, protocol.Cheater} {
+				deviants := opts.pickDeviants(tr.Nodes(), n, "table1")
+				stats, err := opts.measure(runSpec{
+					scenario:      scenario,
+					kind:          protocol.G2GDelegationLastContact,
+					delta1:        scenario.DelegationTTL,
+					deviants:      deviants,
+					deviation:     deviation,
+					onlyOutsiders: outsiders,
+				})
+				if err != nil {
+					return nil, err
+				}
+				label := deviation.String() + "s"
+				if outsiders {
+					label += " with outsiders"
+				}
+				tbl.AddRow(label, stats.DetectionRate, fmt.Sprintf("%.1f", stats.DetectionMinutes))
+				opts.logf("table1 %s %s rate=%.1f%%", scenario.Name, label, stats.DetectionRate)
+			}
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig7 reproduces Figure 7: G2G Delegation's detection time versus the
+// number of selfish nodes, per deviation type.
+func Fig7(opts Options) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Fig. 7 (%s): G2G Delegation avg detection time (min after Δ1) vs deviants", scenario.Name),
+			"deviants", "droppers", "liars", "cheaters",
+			"droppers-out", "liars-out", "cheaters-out")
+		tr, err := scenario.Trace()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range opts.sweep(tr.Nodes()) {
+			if n == 0 {
+				continue
+			}
+			deviants := opts.pickDeviants(tr.Nodes(), n, "fig7")
+			row := []any{n}
+			for _, outsiders := range []bool{false, true} {
+				for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar, protocol.Cheater} {
+					stats, err := opts.measure(runSpec{
+						scenario:      scenario,
+						kind:          protocol.G2GDelegationLastContact,
+						delta1:        scenario.DelegationTTL,
+						deviants:      deviants,
+						deviation:     deviation,
+						onlyOutsiders: outsiders,
+					})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes))
+					opts.logf("fig7 %s %s=%d outsiders=%v time=%.1fm rate=%.0f%%",
+						scenario.Name, deviation, n, outsiders,
+						stats.DetectionMinutes, stats.DetectionRate)
+				}
+			}
+			tbl.AddRow(row...)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: success rate and delay versus cost for the six
+// protocols, all nodes honest, on both traces.
+func Fig8(opts Options) ([]*metrics.Table, error) {
+	kinds := []protocol.Kind{
+		protocol.Epidemic, protocol.G2GEpidemic,
+		protocol.DelegationLastContact, protocol.G2GDelegationLastContact,
+		protocol.DelegationFrequency, protocol.G2GDelegationFrequency,
+	}
+	var out []*metrics.Table
+	for _, scenario := range BothScenarios() {
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Fig. 8 (%s): cost / success / delay per protocol (all honest)", scenario.Name),
+			"protocol", "cost (replicas at delivery)", "total replicas/msg", "success %", "mean delay (min)")
+		for _, kind := range kinds {
+			delta1 := scenario.EpidemicTTL
+			if kind.IsDelegation() {
+				delta1 = scenario.DelegationTTL
+			}
+			stats, err := opts.measure(runSpec{scenario: scenario, kind: kind, delta1: delta1})
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(kind.String(), stats.CostToDelivery, stats.Cost,
+				stats.Success, fmt.Sprintf("%.1f", stats.DelayMinutes))
+			opts.logf("fig8 %s %s cost=%.2f/%.2f success=%.1f%% delay=%.1fm",
+				scenario.Name, kind, stats.CostToDelivery, stats.Cost,
+				stats.Success, stats.DelayMinutes)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}

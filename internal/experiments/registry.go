@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"give2get/internal/metrics"
+)
+
+// Func is an experiment driver: it runs the simulations behind one of the
+// paper's tables or figures and returns the resulting text tables.
+type Func func(Options) ([]*metrics.Table, error)
+
+// registry maps experiment ids (paper artifact names) to drivers.
+var registry = map[string]Func{
+	"fig3":          Fig3,
+	"fig4":          Fig4,
+	"secV":          SecV,
+	"fig5":          Fig5,
+	"table1":        Table1,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"abl-fanout":    AblationFanout,
+	"memory":        Memory,
+	"payoff":        Payoff,
+	"abl-delta2":    AblationDelta2,
+	"abl-timeframe": AblationTimeframe,
+	"abl-crypto":    AblationCrypto,
+}
+
+// IDs returns the registered experiment ids in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) ([]*metrics.Table, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return fn(opts)
+}

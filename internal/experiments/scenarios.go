@@ -1,0 +1,88 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections V, VII, VIII) plus ablations of the design choices.
+// Each experiment returns text tables with the same rows/series the paper
+// plots; cmd/g2gexp and the repository benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"give2get/internal/mobility"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// Scenario binds a synthetic dataset to the paper's per-trace protocol
+// constants.
+type Scenario struct {
+	Name string
+	// Mobility is the synthetic stand-in for the CRAWDAD dataset.
+	Mobility mobility.Config
+	// TraceSeed fixes the dataset draw.
+	TraceSeed int64
+	// EpidemicTTL is Δ1 for (G2G) Epidemic: the smallest TTL that maximizes
+	// vanilla Epidemic's success rate (30 min Infocom, 35 min Cambridge).
+	EpidemicTTL sim.Time
+	// DelegationTTL is Δ1 for (G2G) Delegation (45 min Infocom, 75 min
+	// Cambridge).
+	DelegationTTL sim.Time
+	// WindowDay selects which day's 3-hour period hosts the experiment.
+	WindowDay int
+}
+
+// Infocom returns the conference scenario (41 nodes, 3 days).
+func Infocom() Scenario {
+	return Scenario{
+		Name:          "Infocom05",
+		Mobility:      mobility.Infocom05(),
+		TraceSeed:     42,
+		EpidemicTTL:   30 * sim.Minute,
+		DelegationTTL: 45 * sim.Minute,
+		WindowDay:     1,
+	}
+}
+
+// Cambridge returns the campus scenario (36 nodes, 11 days).
+func Cambridge() Scenario {
+	return Scenario{
+		Name:          "Cambridge06",
+		Mobility:      mobility.Cambridge06(),
+		TraceSeed:     42,
+		EpidemicTTL:   35 * sim.Minute,
+		DelegationTTL: 75 * sim.Minute,
+		WindowDay:     3,
+	}
+}
+
+// BothScenarios returns the two datasets in the paper's order.
+func BothScenarios() []Scenario {
+	return []Scenario{Infocom(), Cambridge()}
+}
+
+// Window returns the scenario's experiment window.
+func (s Scenario) Window() (from, to sim.Time) {
+	return mobility.ExperimentWindow(s.Mobility, s.WindowDay)
+}
+
+// Trace returns the scenario's contact trace, memoized per
+// (scenario, seed): trace generation is deterministic, so sharing is safe.
+func (s Scenario) Trace() (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d", s.Mobility.Name, s.TraceSeed)
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	if tr, ok := traceCache[key]; ok {
+		return tr, nil
+	}
+	tr, err := mobility.Generate(s.Mobility, s.TraceSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", s.Name, err)
+	}
+	traceCache[key] = tr
+	return tr, nil
+}
+
+var (
+	traceCacheMu sync.Mutex
+	traceCache   = make(map[string]*trace.Trace)
+)

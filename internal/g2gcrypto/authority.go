@@ -1,0 +1,94 @@
+package g2gcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"give2get/internal/trace"
+)
+
+// The paper's trust model (Section III): every node's public key is signed
+// by an authority trusted by everyone; the authority never participates in
+// the protocols and can stay offline after setup. This file implements that
+// authority and the certificates it issues, for the Real provider. (The
+// Fast provider models the same trust implicitly through its shared master
+// secret.)
+
+// Certificate binds a node id to its signing and sealing public keys, under
+// the authority's signature.
+type Certificate struct {
+	Node trace.NodeID
+	// SignPub is the node's Ed25519 verification key.
+	SignPub []byte
+	// BoxPub is the node's X25519 public key for sealing and session
+	// agreement.
+	BoxPub []byte
+	// Sig is the authority's signature over the certificate body.
+	Sig Signature
+}
+
+// marshalBody encodes the signed portion of the certificate.
+func (c Certificate) marshalBody() []byte {
+	out := make([]byte, 0, 8+len(c.SignPub)+len(c.BoxPub))
+	out = append(out, 'c', 'e', 'r', 't')
+	out = binary.BigEndian.AppendUint32(out, uint32(c.Node))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.SignPub)))
+	out = append(out, c.SignPub...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.BoxPub)))
+	return append(out, c.BoxPub...)
+}
+
+// Authority is the offline trusted third party: it issues certificates at
+// setup time and is never contacted again.
+type Authority struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewAuthority creates an authority with a fresh key pair. randomness may
+// be nil for crypto/rand.
+func NewAuthority(randomness io.Reader) (*Authority, error) {
+	if randomness == nil {
+		randomness = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(randomness)
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: authority key: %w", err)
+	}
+	return &Authority{priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the authority's verification key, which every node is
+// provisioned with.
+func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Issue signs a certificate for the given node keys.
+func (a *Authority) Issue(node trace.NodeID, signPub ed25519.PublicKey, boxPub []byte) Certificate {
+	cert := Certificate{
+		Node:    node,
+		SignPub: append([]byte(nil), signPub...),
+		BoxPub:  append([]byte(nil), boxPub...),
+	}
+	cert.Sig = ed25519.Sign(a.priv, cert.marshalBody())
+	return cert
+}
+
+// ErrBadCertificate reports a certificate that does not verify under the
+// authority key.
+var ErrBadCertificate = errors.New("g2gcrypto: certificate verification failed")
+
+// VerifyCertificate checks a certificate against the authority's public
+// key.
+func VerifyCertificate(authority ed25519.PublicKey, cert Certificate) error {
+	if len(cert.SignPub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad signing key length %d", ErrBadCertificate, len(cert.SignPub))
+	}
+	if !ed25519.Verify(authority, cert.marshalBody(), cert.Sig) {
+		return ErrBadCertificate
+	}
+	return nil
+}

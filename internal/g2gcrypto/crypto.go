@@ -1,0 +1,119 @@
+// Package g2gcrypto supplies the cryptographic capabilities the paper's
+// system model assumes (Section III): every node holds a key pair whose
+// public part is certified by a trusted authority that stays offline after
+// setup; nodes sign control messages, negotiate authenticated sessions, seal
+// message bodies for the destination only, and compute a deliberately heavy
+// HMAC as a proof of storage.
+//
+// Two interchangeable providers implement the System interface:
+//
+//   - Real: Ed25519 signatures, X25519+AES-GCM hybrid sealing, AES-GCM
+//     payload encryption. Proves the wire protocol is implementable with
+//     real primitives; used by unit tests and the examples.
+//   - Fast: keyed-HMAC "signatures" with per-node secrets derived from one
+//     simulation master secret. Cryptographically meaningless outside a
+//     closed simulation, but ~50x cheaper, which keeps thousand-run
+//     parameter sweeps tractable. An ablation bench quantifies the gap.
+package g2gcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"give2get/internal/trace"
+)
+
+// Digest is the output of the system hash function H().
+type Digest [sha256.Size]byte
+
+// Hash computes H(data).
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// Signature is a detached signature over a byte string.
+type Signature []byte
+
+// Errors shared by both providers.
+var (
+	ErrBadSignature  = errors.New("g2gcrypto: signature verification failed")
+	ErrBadCiphertext = errors.New("g2gcrypto: ciphertext malformed or corrupted")
+	ErrUnknownNode   = errors.New("g2gcrypto: node not registered with the authority")
+)
+
+// Identity is the private-key side held by a single node.
+type Identity interface {
+	// Node returns the identity's owner.
+	Node() trace.NodeID
+	// Sign produces a signature over data with the node's private key.
+	Sign(data []byte) Signature
+	// Open decrypts a blob sealed for this node with SealFor.
+	Open(box []byte) ([]byte, error)
+}
+
+// System models the deployed PKI: the authority has issued certificates for
+// a fixed population, so any node can verify any other node's signatures and
+// seal content for any destination using public information only.
+type System interface {
+	// Name identifies the provider ("real" or "fast").
+	Name() string
+	// Nodes returns the registered population size.
+	Nodes() int
+	// Identity returns node n's private identity.
+	Identity(n trace.NodeID) (Identity, error)
+	// Verify checks that sig is signer's signature over data.
+	Verify(signer trace.NodeID, data []byte, sig Signature) bool
+	// SealFor encrypts plaintext so that only dest can open it. The sealed
+	// blob hides the plaintext (including the sender identity embedded in
+	// it, which is what keeps relays blind to the message source).
+	SealFor(dest trace.NodeID, plaintext []byte) ([]byte, error)
+}
+
+// CertifiedSystem is implemented by providers that expose the paper's
+// explicit certificate chain (the Real provider): an offline authority key
+// and per-node certificates, enabling authenticated session establishment
+// between any two nodes.
+type CertifiedSystem interface {
+	System
+	// AuthorityKey returns the trusted authority's verification key, which
+	// every node is provisioned with at setup.
+	AuthorityKey() ed25519.PublicKey
+	// Certificate returns the authority-signed certificate of node n.
+	Certificate(n trace.NodeID) (Certificate, error)
+}
+
+// SessionKey is a symmetric key used for the Ek(m) step of the relay phase
+// and for session encryption.
+type SessionKey [32]byte
+
+// HeavyHMAC is the storage-proof challenge of the test phase (Fig. 2): a
+// keyed MAC over the full message, iterated to make it expensive by design.
+// The paper requires the cost to exceed the energy saved by not relaying;
+// iterations is the knob (ablated in the benches).
+func HeavyHMAC(message, seed []byte, iterations int) Digest {
+	if iterations < 1 {
+		iterations = 1
+	}
+	mac := hmac.New(sha256.New, seed)
+	mac.Write(message)
+	sum := mac.Sum(nil)
+	var round [8]byte
+	for i := 1; i < iterations; i++ {
+		binary.LittleEndian.PutUint64(round[:], uint64(i))
+		mac := hmac.New(sha256.New, sum)
+		mac.Write(round[:])
+		mac.Write(message)
+		sum = mac.Sum(nil)
+	}
+	var out Digest
+	copy(out[:], sum)
+	return out
+}
+
+// VerifyHeavyHMAC recomputes the challenge response and compares in constant
+// time.
+func VerifyHeavyHMAC(message, seed []byte, iterations int, response Digest) bool {
+	want := HeavyHMAC(message, seed, iterations)
+	return hmac.Equal(want[:], response[:])
+}

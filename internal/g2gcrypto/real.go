@@ -1,0 +1,243 @@
+package g2gcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"give2get/internal/trace"
+)
+
+// realSystem implements System with production primitives: Ed25519 for
+// signatures and X25519 + AES-256-GCM for sealing. The in-memory authority
+// generates every node's keys at setup and is never consulted again, exactly
+// like the paper's offline trusted authority.
+type realSystem struct {
+	identities []*realIdentity
+	random     io.Reader
+	authority  *Authority
+	certs      []Certificate
+}
+
+type realIdentity struct {
+	node    trace.NodeID
+	signKey ed25519.PrivateKey
+	signPub ed25519.PublicKey
+	boxKey  *ecdh.PrivateKey
+	boxPub  *ecdh.PublicKey
+	system  *realSystem
+}
+
+var (
+	_ System   = (*realSystem)(nil)
+	_ Identity = (*realIdentity)(nil)
+)
+
+// NewReal sets up a real-crypto PKI for a population of nodes. randomness
+// may be nil, in which case crypto/rand is used.
+func NewReal(nodes int, randomness io.Reader) (System, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("g2gcrypto: population must be positive, got %d", nodes)
+	}
+	if randomness == nil {
+		randomness = rand.Reader
+	}
+	authority, err := NewAuthority(randomness)
+	if err != nil {
+		return nil, err
+	}
+	s := &realSystem{
+		identities: make([]*realIdentity, nodes),
+		random:     randomness,
+		authority:  authority,
+		certs:      make([]Certificate, nodes),
+	}
+	curve := ecdh.X25519()
+	for n := 0; n < nodes; n++ {
+		pub, priv, err := ed25519.GenerateKey(randomness)
+		if err != nil {
+			return nil, fmt.Errorf("g2gcrypto: generate signing key for node %d: %w", n, err)
+		}
+		boxKey, err := curve.GenerateKey(randomness)
+		if err != nil {
+			return nil, fmt.Errorf("g2gcrypto: generate box key for node %d: %w", n, err)
+		}
+		s.identities[n] = &realIdentity{
+			node:    trace.NodeID(n),
+			signKey: priv,
+			signPub: pub,
+			boxKey:  boxKey,
+			boxPub:  boxKey.PublicKey(),
+			system:  s,
+		}
+		s.certs[n] = authority.Issue(trace.NodeID(n), pub, boxKey.PublicKey().Bytes())
+	}
+	return s, nil
+}
+
+// AuthorityKey implements CertifiedSystem.
+func (s *realSystem) AuthorityKey() ed25519.PublicKey { return s.authority.PublicKey() }
+
+// Certificate implements CertifiedSystem.
+func (s *realSystem) Certificate(n trace.NodeID) (Certificate, error) {
+	if int(n) < 0 || int(n) >= len(s.certs) {
+		return Certificate{}, fmt.Errorf("%w: %d", ErrUnknownNode, n)
+	}
+	return s.certs[n], nil
+}
+
+// OpenSessionWith starts an authenticated session handshake from this
+// identity toward peer (Section IV-A's session key negotiation).
+func (id *realIdentity) OpenSessionWith(peer trace.NodeID, randomness io.Reader) (*SessionState, error) {
+	cert, err := id.system.Certificate(id.node)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSession(cert, id.signKey, peer, randomness)
+}
+
+func (s *realSystem) Name() string { return "real" }
+func (s *realSystem) Nodes() int   { return len(s.identities) }
+
+func (s *realSystem) Identity(n trace.NodeID) (Identity, error) {
+	if int(n) < 0 || int(n) >= len(s.identities) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, n)
+	}
+	return s.identities[n], nil
+}
+
+func (s *realSystem) Verify(signer trace.NodeID, data []byte, sig Signature) bool {
+	if int(signer) < 0 || int(signer) >= len(s.identities) {
+		return false
+	}
+	return ed25519.Verify(s.identities[signer].signPub, data, sig)
+}
+
+// SealFor hybrid-encrypts: an ephemeral X25519 key agreement derives an
+// AES-256-GCM key; the wire format is ephemeralPub || nonce || ciphertext.
+func (s *realSystem) SealFor(dest trace.NodeID, plaintext []byte) ([]byte, error) {
+	if int(dest) < 0 || int(dest) >= len(s.identities) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, dest)
+	}
+	curve := ecdh.X25519()
+	eph, err := curve.GenerateKey(s.random)
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(s.identities[dest].boxPub)
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: ecdh: %w", err)
+	}
+	gcm, err := newGCM(sha256.Sum256(shared))
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(s.random, nonce); err != nil {
+		return nil, fmt.Errorf("g2gcrypto: nonce: %w", err)
+	}
+	out := make([]byte, 0, 32+len(nonce)+len(plaintext)+gcm.Overhead())
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, plaintext, nil), nil
+}
+
+func (id *realIdentity) Node() trace.NodeID { return id.node }
+
+func (id *realIdentity) Sign(data []byte) Signature {
+	return ed25519.Sign(id.signKey, data)
+}
+
+func (id *realIdentity) Open(box []byte) ([]byte, error) {
+	curve := ecdh.X25519()
+	const pubLen = 32
+	if len(box) < pubLen {
+		return nil, ErrBadCiphertext
+	}
+	ephPub, err := curve.NewPublicKey(box[:pubLen])
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	shared, err := id.boxKey.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	gcm, err := newGCM(sha256.Sum256(shared))
+	if err != nil {
+		return nil, err
+	}
+	rest := box[pubLen:]
+	if len(rest) < gcm.NonceSize() {
+		return nil, ErrBadCiphertext
+	}
+	nonce, ct := rest[:gcm.NonceSize()], rest[gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	return pt, nil
+}
+
+func newGCM(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: aes: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// EncryptPayload implements the Ek(m) step of the relay phase: message m is
+// handed over under a fresh random key k that is revealed only after the
+// proof of relay is signed. AES-256-GCM; wire format nonce || ciphertext.
+func EncryptPayload(key SessionKey, plaintext []byte, randomness io.Reader) ([]byte, error) {
+	if randomness == nil {
+		randomness = rand.Reader
+	}
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(randomness, nonce); err != nil {
+		return nil, fmt.Errorf("g2gcrypto: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// DecryptPayload reverses EncryptPayload once the key is revealed.
+func DecryptPayload(key SessionKey, box []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(box) < gcm.NonceSize() {
+		return nil, ErrBadCiphertext
+	}
+	pt, err := gcm.Open(nil, box[:gcm.NonceSize()], box[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	return pt, nil
+}
+
+// NewSessionKey draws a fresh symmetric key. randomness may be nil for
+// crypto/rand.
+func NewSessionKey(randomness io.Reader) (SessionKey, error) {
+	if randomness == nil {
+		randomness = rand.Reader
+	}
+	var k SessionKey
+	if _, err := io.ReadFull(randomness, k[:]); err != nil {
+		return SessionKey{}, fmt.Errorf("g2gcrypto: session key: %w", err)
+	}
+	return k, nil
+}

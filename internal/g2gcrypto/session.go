@@ -1,0 +1,123 @@
+package g2gcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"give2get/internal/trace"
+)
+
+// Session establishment (Section IV-A): "Node S starts a session with the
+// possible relay by negotiating a cryptographic session key with node B.
+// This is easily and locally done by using the certificates of the two
+// nodes, signed by a trusted authority. In this way, both identities are
+// authenticated. From this point on, every communication during the session
+// is encrypted."
+//
+// The handshake is a signed ephemeral Diffie-Hellman exchange: each side
+// contributes an ephemeral X25519 share signed with its certified long-term
+// key (binding both identities and both shares), and the session key is
+// derived from the shared secret and the handshake transcript.
+
+// SessionOffer is one side's handshake contribution.
+type SessionOffer struct {
+	Cert Certificate
+	// Ephemeral is the X25519 ephemeral public share.
+	Ephemeral []byte
+	// Sig signs (ephemeral || peer node id) with the long-term signing key,
+	// binding the share to this session's intended peer.
+	Sig Signature
+}
+
+// SessionState is the private half of a pending handshake.
+type SessionState struct {
+	self      trace.NodeID
+	ephemeral *ecdh.PrivateKey
+	offer     SessionOffer
+}
+
+// Errors of the handshake.
+var (
+	ErrHandshakeIdentity = errors.New("g2gcrypto: handshake peer identity mismatch")
+	ErrHandshakeSig      = errors.New("g2gcrypto: handshake signature invalid")
+)
+
+// OpenSession starts a handshake from self toward peer. randomness may be
+// nil for crypto/rand.
+func OpenSession(selfCert Certificate, signKey ed25519.PrivateKey, peer trace.NodeID, randomness io.Reader) (*SessionState, error) {
+	if randomness == nil {
+		randomness = rand.Reader
+	}
+	eph, err := ecdh.X25519().GenerateKey(randomness)
+	if err != nil {
+		return nil, fmt.Errorf("g2gcrypto: session ephemeral: %w", err)
+	}
+	offer := SessionOffer{
+		Cert:      selfCert,
+		Ephemeral: eph.PublicKey().Bytes(),
+	}
+	offer.Sig = ed25519.Sign(signKey, sessionSigInput(offer.Ephemeral, peer))
+	return &SessionState{self: selfCert.Node, ephemeral: eph, offer: offer}, nil
+}
+
+// Offer returns the handshake message to send to the peer.
+func (s *SessionState) Offer() SessionOffer { return s.offer }
+
+// Complete validates the peer's offer and derives the shared session key.
+// Both sides derive the same key; the derivation binds both identities and
+// both shares, so a mismatch on any of them yields different keys (and an
+// authentication failure on first use).
+func (s *SessionState) Complete(authority ed25519.PublicKey, peerOffer SessionOffer) (SessionKey, error) {
+	if err := VerifyCertificate(authority, peerOffer.Cert); err != nil {
+		return SessionKey{}, err
+	}
+	if peerOffer.Cert.Node == s.self {
+		return SessionKey{}, ErrHandshakeIdentity
+	}
+	if !ed25519.Verify(peerOffer.Cert.SignPub, sessionSigInput(peerOffer.Ephemeral, s.self), peerOffer.Sig) {
+		return SessionKey{}, ErrHandshakeSig
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(peerOffer.Ephemeral)
+	if err != nil {
+		return SessionKey{}, fmt.Errorf("g2gcrypto: peer ephemeral: %w", err)
+	}
+	shared, err := s.ephemeral.ECDH(peerPub)
+	if err != nil {
+		return SessionKey{}, fmt.Errorf("g2gcrypto: session ecdh: %w", err)
+	}
+
+	// Key derivation over a canonical transcript: the lower node id's
+	// (id, share) pair goes first so both sides agree.
+	firstID, firstShare := s.self, s.offer.Ephemeral
+	secondID, secondShare := peerOffer.Cert.Node, peerOffer.Ephemeral
+	if secondID < firstID {
+		firstID, secondID = secondID, firstID
+		firstShare, secondShare = secondShare, firstShare
+	}
+	mac := hmac.New(sha256.New, shared)
+	mac.Write([]byte("g2g-session-v1"))
+	var ids [8]byte
+	binary.BigEndian.PutUint32(ids[:4], uint32(firstID))
+	binary.BigEndian.PutUint32(ids[4:], uint32(secondID))
+	mac.Write(ids[:])
+	mac.Write(firstShare)
+	mac.Write(secondShare)
+
+	var key SessionKey
+	copy(key[:], mac.Sum(nil))
+	return key, nil
+}
+
+func sessionSigInput(ephemeral []byte, peer trace.NodeID) []byte {
+	out := make([]byte, 0, len(ephemeral)+12)
+	out = append(out, 's', 'e', 's', 's')
+	out = binary.BigEndian.AppendUint32(out, uint32(peer))
+	return append(out, ephemeral...)
+}

@@ -1,0 +1,178 @@
+package g2gcrypto
+
+import (
+	"errors"
+	"testing"
+
+	"give2get/internal/trace"
+)
+
+// certified unwraps the Real system's certificate surface.
+func certified(t *testing.T, nodes int) CertifiedSystem {
+	t.Helper()
+	sys, err := NewReal(nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := sys.(CertifiedSystem)
+	if !ok {
+		t.Fatal("real system does not expose certificates")
+	}
+	return cs
+}
+
+func TestCertificateIssueVerify(t *testing.T) {
+	cs := certified(t, 3)
+	for n := trace.NodeID(0); n < 3; n++ {
+		cert, err := cs.Certificate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Node != n {
+			t.Errorf("cert node = %d, want %d", cert.Node, n)
+		}
+		if err := VerifyCertificate(cs.AuthorityKey(), cert); err != nil {
+			t.Errorf("valid certificate rejected: %v", err)
+		}
+	}
+	if _, err := cs.Certificate(9); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Certificate(9): %v", err)
+	}
+}
+
+func TestCertificateTamperDetected(t *testing.T) {
+	cs := certified(t, 2)
+	cert, err := cs.Certificate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Certificate)
+	}{
+		{name: "node swap", mutate: func(c *Certificate) { c.Node = 1 }},
+		{name: "signing key swap", mutate: func(c *Certificate) { c.SignPub[0] ^= 1 }},
+		{name: "box key swap", mutate: func(c *Certificate) { c.BoxPub[0] ^= 1 }},
+		{name: "signature flip", mutate: func(c *Certificate) { c.Sig[0] ^= 1 }},
+		{name: "short signing key", mutate: func(c *Certificate) { c.SignPub = c.SignPub[:5] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bad := cert
+			bad.SignPub = append([]byte(nil), cert.SignPub...)
+			bad.BoxPub = append([]byte(nil), cert.BoxPub...)
+			bad.Sig = append(Signature(nil), cert.Sig...)
+			tt.mutate(&bad)
+			if err := VerifyCertificate(cs.AuthorityKey(), bad); err == nil {
+				t.Error("tampered certificate accepted")
+			}
+		})
+	}
+	// A certificate from a different authority must not verify.
+	other := certified(t, 2)
+	if err := VerifyCertificate(other.AuthorityKey(), cert); err == nil {
+		t.Error("foreign authority accepted the certificate")
+	}
+}
+
+// sessionPair runs a full handshake between nodes 0 and 1 of a fresh real
+// system and returns both derived keys.
+func sessionPair(t *testing.T, cs CertifiedSystem) (SessionKey, SessionKey) {
+	t.Helper()
+	a := openSessionMust(t, cs, 0, 1)
+	b := openSessionMust(t, cs, 1, 0)
+	keyA, err := a.Complete(cs.AuthorityKey(), b.Offer())
+	if err != nil {
+		t.Fatalf("A complete: %v", err)
+	}
+	keyB, err := b.Complete(cs.AuthorityKey(), a.Offer())
+	if err != nil {
+		t.Fatalf("B complete: %v", err)
+	}
+	return keyA, keyB
+}
+
+func TestSessionHandshakeAgreesOnKey(t *testing.T) {
+	cs := certified(t, 3)
+	keyA, keyB := sessionPair(t, cs)
+	if keyA != keyB {
+		t.Fatal("handshake peers derived different session keys")
+	}
+	if keyA == (SessionKey{}) {
+		t.Fatal("derived zero key")
+	}
+	// The key works as an AEAD key for session traffic.
+	box, err := EncryptPayload(keyA, []byte("session traffic"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptPayload(keyB, box)
+	if err != nil || string(pt) != "session traffic" {
+		t.Fatalf("session traffic roundtrip failed: %v", err)
+	}
+}
+
+func TestSessionRejectsWrongPeerBinding(t *testing.T) {
+	cs := certified(t, 3)
+	// The offer signature binds the intended peer: an offer node 1 made for
+	// node 2 cannot be replayed into a handshake with node 0.
+	a := openSessionMust(t, cs, 0, 1)
+	misdirected := openSessionMust(t, cs, 1, 2)
+	if _, err := a.Complete(cs.AuthorityKey(), misdirected.Offer()); !errors.Is(err, ErrHandshakeSig) {
+		t.Errorf("misdirected offer accepted: %v", err)
+	}
+}
+
+func TestSessionRejectsSelfAndForgery(t *testing.T) {
+	cs := certified(t, 3)
+	a := openSessionMust(t, cs, 0, 1)
+	// Reflection: node 0's own offer back at itself.
+	if _, err := a.Complete(cs.AuthorityKey(), a.Offer()); !errors.Is(err, ErrHandshakeIdentity) {
+		t.Errorf("reflected offer: %v", err)
+	}
+	// Tampered ephemeral share.
+	b := openSessionMust(t, cs, 1, 0)
+	offer := b.Offer()
+	offer.Ephemeral = append([]byte(nil), offer.Ephemeral...)
+	offer.Ephemeral[0] ^= 1
+	if _, err := a.Complete(cs.AuthorityKey(), offer); !errors.Is(err, ErrHandshakeSig) {
+		t.Errorf("tampered share: %v", err)
+	}
+	// Certificate from a different PKI.
+	foreign := certified(t, 3)
+	f := openSessionMust(t, foreign, 1, 0)
+	if _, err := a.Complete(cs.AuthorityKey(), f.Offer()); err == nil {
+		t.Error("foreign certificate accepted")
+	}
+}
+
+func TestSessionKeysDifferAcrossHandshakes(t *testing.T) {
+	cs := certified(t, 2)
+	k1, _ := sessionPair(t, cs)
+	k2, _ := sessionPair(t, cs)
+	if k1 == k2 {
+		t.Error("two handshakes derived the same key (no ephemeral contribution)")
+	}
+}
+
+// openSessionViaIdentity dispatches to the Real identity's session opener.
+func openSessionViaIdentity(cs CertifiedSystem, self, peer trace.NodeID) (*SessionState, error) {
+	id, err := cs.Identity(self)
+	if err != nil {
+		return nil, err
+	}
+	real, ok := id.(*realIdentity)
+	if !ok {
+		return nil, errors.New("not a real identity")
+	}
+	return real.OpenSessionWith(peer, nil)
+}
+
+func openSessionMust(t *testing.T, cs CertifiedSystem, self, peer trace.NodeID) *SessionState {
+	t.Helper()
+	st, err := openSessionViaIdentity(cs, self, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,36 @@
+package message
+
+import (
+	"give2get/internal/sim"
+)
+
+// Quality is a delegation forwarding quality: a value where higher means
+// "better positioned to deliver". For Destination Frequency it is an
+// encounter count; for Destination Last Contact it is the time of the most
+// recent encounter (encoded in nanoseconds of virtual time), so that later
+// contacts compare higher. Zero is the floor a node with no information —
+// or a liar — reports.
+type Quality int64
+
+// QualityFromCount encodes a Destination Frequency quality.
+func QualityFromCount(n int) Quality { return Quality(n) }
+
+// QualityFromTime encodes a Destination Last Contact quality.
+func QualityFromTime(t sim.Time) Quality { return Quality(t) }
+
+// Better reports whether q is strictly higher than other, i.e. whether a
+// node with quality q is a valid delegation target for a message labelled
+// other.
+func (q Quality) Better(other Quality) bool { return q > other }
+
+// FrameIndex identifies one completed quality timeframe (Section VI-A):
+// frame i covers [i*frameLen, (i+1)*frameLen).
+type FrameIndex int64
+
+// FrameOf returns the index of the timeframe containing t.
+func FrameOf(t sim.Time, frameLen sim.Time) FrameIndex {
+	if frameLen <= 0 {
+		return 0
+	}
+	return FrameIndex(t / frameLen)
+}

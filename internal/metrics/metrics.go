@@ -1,0 +1,261 @@
+// Package metrics aggregates protocol events into the measures the paper
+// reports: success rate, delay, cost (replicas per message), and misbehavior
+// detection rate and time.
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// Collector implements protocol.Observer. It is safe for concurrent use,
+// although the simulator is single-threaded.
+type Collector struct {
+	mu sync.Mutex
+
+	generated map[g2gcrypto.Digest]genRecord
+	delivered map[g2gcrypto.Digest]sim.Time
+	replicas  map[g2gcrypto.Digest]int
+	// replicasAtDelivery snapshots, per delivered message, how many
+	// replicas existed when the destination first got it.
+	replicasAtDelivery map[g2gcrypto.Digest]int
+	detections         map[trace.NodeID]Detection
+	testsRun           int
+	testsFail          int
+}
+
+type genRecord struct {
+	src, dst trace.NodeID
+	at       sim.Time
+}
+
+// Detection records the first time a node was exposed by a valid proof of
+// misbehavior.
+type Detection struct {
+	Accused trace.NodeID
+	Reason  wire.MisbehaviorReason
+	At      sim.Time
+	// TTLExpiry is generation + Δ1 for the exposing message; the paper
+	// reports detection time as At - TTLExpiry.
+	TTLExpiry sim.Time
+}
+
+// AfterTTL returns the paper's detection-time metric, clamped at zero for
+// detections that complete before the TTL expires (possible for liars,
+// which the destination audits at delivery time).
+func (d Detection) AfterTTL() sim.Time {
+	if d.At <= d.TTLExpiry {
+		return 0
+	}
+	return d.At - d.TTLExpiry
+}
+
+var _ protocol.Observer = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		generated:          make(map[g2gcrypto.Digest]genRecord),
+		delivered:          make(map[g2gcrypto.Digest]sim.Time),
+		replicas:           make(map[g2gcrypto.Digest]int),
+		replicasAtDelivery: make(map[g2gcrypto.Digest]int),
+		detections:         make(map[trace.NodeID]Detection),
+	}
+}
+
+// Generated implements protocol.Observer.
+func (c *Collector) Generated(h g2gcrypto.Digest, _ message.ID, src, dst trace.NodeID, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.generated[h] = genRecord{src: src, dst: dst, at: at}
+}
+
+// Replicated implements protocol.Observer.
+func (c *Collector) Replicated(h g2gcrypto.Digest, _, _ trace.NodeID, _ sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas[h]++
+}
+
+// Delivered implements protocol.Observer.
+func (c *Collector) Delivered(h g2gcrypto.Digest, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.delivered[h]; !ok {
+		c.delivered[h] = at
+		c.replicasAtDelivery[h] = c.replicas[h]
+	}
+}
+
+// Detected implements protocol.Observer. Only the first detection of each
+// node counts.
+func (c *Collector) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, _ g2gcrypto.Digest, at, ttlExpiry sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.detections[accused]; !ok {
+		c.detections[accused] = Detection{Accused: accused, Reason: reason, At: at, TTLExpiry: ttlExpiry}
+	}
+}
+
+// Tested implements protocol.Observer.
+func (c *Collector) Tested(_ trace.NodeID, passed bool, _ sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.testsRun++
+	if !passed {
+		c.testsFail++
+	}
+}
+
+// Summary condenses a run.
+type Summary struct {
+	Generated   int
+	Delivered   int
+	SuccessRate float64 // percent
+	MeanDelay   sim.Time
+	MedianDelay sim.Time
+	// MeanCost is the average number of replicas created per generated
+	// message over the message's whole lifetime.
+	MeanCost float64
+	// MeanCostToDelivery is the average number of replicas that existed
+	// when the destination first received the message, over delivered
+	// messages. This matches the cost axis of the paper's Fig. 8: replicas
+	// of the same message in the network (measured when the message
+	// reaches its destination).
+	MeanCostToDelivery float64
+	TotalReplicas      int
+	TestsRun           int
+	TestsFailed        int
+}
+
+// Summarize computes the delivery/cost summary of the run.
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	s := Summary{
+		Generated:   len(c.generated),
+		Delivered:   len(c.delivered),
+		TestsRun:    c.testsRun,
+		TestsFailed: c.testsFail,
+	}
+	var delays []sim.Time
+	for h, at := range c.delivered {
+		gen, ok := c.generated[h]
+		if !ok {
+			continue
+		}
+		delays = append(delays, at-gen.at)
+	}
+	if len(delays) > 0 {
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		var total sim.Time
+		for _, d := range delays {
+			total += d
+		}
+		s.MeanDelay = total / sim.Time(len(delays))
+		s.MedianDelay = delays[len(delays)/2]
+	}
+	for _, n := range c.replicas {
+		s.TotalReplicas += n
+	}
+	if s.Generated > 0 {
+		s.SuccessRate = 100 * float64(s.Delivered) / float64(s.Generated)
+		s.MeanCost = float64(s.TotalReplicas) / float64(s.Generated)
+	}
+	if len(c.replicasAtDelivery) > 0 {
+		total := 0
+		for _, n := range c.replicasAtDelivery {
+			total += n
+		}
+		s.MeanCostToDelivery = float64(total) / float64(len(c.replicasAtDelivery))
+	}
+	return s
+}
+
+// DetectionSummary reports how well a run exposed a set of deviating nodes.
+type DetectionSummary struct {
+	Deviants int
+	Detected int
+	// Rate is the percentage of deviants exposed by at least one PoM.
+	Rate float64
+	// MeanTimeAfterTTL averages the paper's detection-time metric over the
+	// detected deviants.
+	MeanTimeAfterTTL sim.Time
+	// FalseAccusations counts detections of nodes outside the deviant set;
+	// the protocols guarantee zero.
+	FalseAccusations int
+}
+
+// SummarizeDetection scores the run's detections against the ground-truth
+// deviant set.
+func (c *Collector) SummarizeDetection(deviants []trace.NodeID) DetectionSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	isDeviant := make(map[trace.NodeID]struct{}, len(deviants))
+	for _, d := range deviants {
+		isDeviant[d] = struct{}{}
+	}
+	s := DetectionSummary{Deviants: len(deviants)}
+	var total sim.Time
+	for accused, det := range c.detections {
+		if _, ok := isDeviant[accused]; !ok {
+			s.FalseAccusations++
+			continue
+		}
+		s.Detected++
+		total += det.AfterTTL()
+	}
+	if s.Detected > 0 {
+		s.MeanTimeAfterTTL = total / sim.Time(s.Detected)
+	}
+	if s.Deviants > 0 {
+		s.Rate = 100 * float64(s.Detected) / float64(s.Deviants)
+	}
+	return s
+}
+
+// SourceStats summarizes one node's traffic as a message source: the basis
+// of the payoff experiment (a node's utility comes from its own messages
+// being delivered).
+type SourceStats struct {
+	Generated int
+	Delivered int
+}
+
+// PerSource returns, per source node, how many of its own messages were
+// generated and delivered.
+func (c *Collector) PerSource() map[trace.NodeID]SourceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[trace.NodeID]SourceStats)
+	for h, rec := range c.generated {
+		s := out[rec.src]
+		s.Generated++
+		if _, ok := c.delivered[h]; ok {
+			s.Delivered++
+		}
+		out[rec.src] = s
+	}
+	return out
+}
+
+// Detections returns the recorded first detections, sorted by accused id.
+func (c *Collector) Detections() []Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Detection, 0, len(c.detections))
+	for _, d := range c.detections {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Accused < out[j].Accused })
+	return out
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"fmt"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// delegationNode implements vanilla Delegation Forwarding (Erramilli et
+// al.), in both the Destination Frequency and Destination Last Contact
+// flavors: a message labelled with forwarding quality f_m is replicated to a
+// peer exactly when the peer's quality toward the destination exceeds f_m,
+// and both copies are relabelled with the peer's quality. Like Epidemic, it
+// has no defence against selfish nodes: droppers discard what they accept
+// and liars report quality zero to avoid ever qualifying (Fig. 5).
+type delegationNode struct {
+	base
+	frequency bool
+	quality   *qualityTable
+	seen      map[g2gcrypto.Digest]struct{}
+	buffer    map[g2gcrypto.Digest]*delegationCustody
+	seq       uint32
+}
+
+type delegationCustody struct {
+	msg   *message.Message
+	genAt sim.Time
+	fm    message.Quality
+}
+
+var _ Node = (*delegationNode)(nil)
+
+func newDelegationNode(env *Env, self g2gcrypto.Identity, behavior Behavior, frequency bool) *delegationNode {
+	return &delegationNode{
+		base:      newBase(env, self, behavior),
+		frequency: frequency,
+		quality:   newQualityTable(env.Params.QualityFrame),
+		seen:      make(map[g2gcrypto.Digest]struct{}),
+		buffer:    make(map[g2gcrypto.Digest]*delegationCustody),
+	}
+}
+
+// Generate implements Node. The fresh message is labelled with the sender's
+// own forwarding quality toward the destination.
+func (n *delegationNode) Generate(now sim.Time, dest trace.NodeID, body []byte) error {
+	if dest == n.ID() {
+		return fmt.Errorf("protocol: node %d generating a message to itself", n.ID())
+	}
+	n.seq++
+	id := message.MakeID(n.ID(), n.seq)
+	m, err := message.New(n.env.Sys, n.self, dest, id, body)
+	if err != nil {
+		return err
+	}
+	h := m.Hash()
+	n.seen[h] = struct{}{}
+	n.buffer[h] = &delegationCustody{
+		msg: m, genAt: now,
+		fm: n.quality.qualityAt(dest, now, n.frequency),
+	}
+	n.env.Observer.Generated(h, id, n.ID(), dest, now)
+	return nil
+}
+
+// ObserveMeeting implements Node.
+func (n *delegationNode) ObserveMeeting(now sim.Time, peer trace.NodeID) {
+	n.quality.observe(now, peer)
+}
+
+// DeliverPoM implements Node. Vanilla delegation ignores misbehavior
+// broadcasts.
+func (n *delegationNode) DeliverPoM(wire.Signed) {}
+
+// reportQuality answers a quality query from a peer. A liar deviating
+// against the asker claims zero.
+func (n *delegationNode) reportQuality(now sim.Time, asker, dest trace.NodeID) message.Quality {
+	if n.behavior.Deviation == Liar && n.deviates(asker) {
+		return 0
+	}
+	return n.quality.qualityAt(dest, now, n.frequency)
+}
+
+// RunSession implements Node.
+func (n *delegationNode) RunSession(now sim.Time, peer Node) (bool, error) {
+	other, ok := peer.(*delegationNode)
+	if !ok {
+		return false, fmt.Errorf("%w: %T vs %T", ErrProtocolMismatch, n, peer)
+	}
+	n.expire(now)
+	transferred := false
+	for _, h := range sortedDigests(n.buffer) {
+		c := n.buffer[h]
+		if _, dup := other.seen[h]; dup {
+			continue
+		}
+		if c.msg.Dest == other.ID() {
+			// Direct delivery ignores quality.
+			size := messageFootprint(c.msg)
+			n.noteTx(size)
+			other.noteRx(size)
+			other.receive(now, n.ID(), c)
+			n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
+			transferred = true
+			continue
+		}
+		fPeer := other.reportQuality(now, n.ID(), c.msg.Dest)
+		if !fPeer.Better(c.fm) {
+			continue
+		}
+		// Replicate and relabel both copies with the peer's quality.
+		c.fm = fPeer
+		copyIn := &delegationCustody{msg: c.msg, genAt: c.genAt, fm: fPeer}
+		size := messageFootprint(c.msg)
+		n.noteTx(size)
+		other.noteRx(size)
+		other.receive(now, n.ID(), copyIn)
+		n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
+		transferred = true
+	}
+	return transferred, nil
+}
+
+func (n *delegationNode) receive(now sim.Time, from trace.NodeID, c *delegationCustody) {
+	h := c.msg.Hash()
+	n.seen[h] = struct{}{}
+	if c.msg.Dest == n.ID() {
+		n.env.Observer.Delivered(h, now)
+		return
+	}
+	if n.behavior.Deviation == Dropper && n.deviates(from) {
+		return
+	}
+	n.buffer[h] = c
+}
+
+func (n *delegationNode) expire(now sim.Time) {
+	for h, c := range n.buffer {
+		if now >= c.genAt.Add(n.env.Params.Delta1) {
+			delete(n.buffer, h)
+		}
+	}
+}
+
+// MemoryBytes implements MemoryMeter.
+func (n *delegationNode) MemoryBytes() int64 {
+	var total int64
+	for _, c := range n.buffer {
+		total += int64(messageFootprint(c.msg))
+	}
+	total += int64(len(n.seen)) * hashFootprint
+	for _, times := range n.quality.meetings {
+		total += int64(len(times)) * 8
+	}
+	return total
+}

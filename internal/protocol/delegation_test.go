@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"testing"
+
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// primeQuality makes `node` meet `dest` n times before `by`, raising its
+// frequency and last-contact quality toward dest without running sessions.
+func primeQuality(w *world, node, dest trace.NodeID, n int, from, step sim.Time) {
+	at := from
+	for i := 0; i < n; i++ {
+		w.nodes[node].ObserveMeeting(at, dest)
+		w.nodes[dest].ObserveMeeting(at, node)
+		at += step
+	}
+}
+
+func TestDelegationForwardsOnlyToBetterRelay(t *testing.T) {
+	w := newWorld(t, DelegationFrequency, 4, testParams(), nil)
+	// Node 1 met the destination (3) twice; node 2 never did.
+	primeQuality(w, 1, 3, 2, 0, sim.Minute)
+
+	base := 10 * sim.Minute
+	w.generate(base, 0, 3) // source quality 0
+	w.meet(base+sim.Minute, 0, 2)
+	if len(w.rec.replicated) != 0 {
+		t.Fatalf("message forwarded to a zero-quality relay: %+v", w.rec.replicated)
+	}
+	w.meet(base+2*sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 1 {
+		t.Fatalf("message not forwarded to a better relay")
+	}
+	if w.rec.replicated[0].to != 1 {
+		t.Errorf("forwarded to %d, want 1", w.rec.replicated[0].to)
+	}
+}
+
+func TestDelegationRelabelsBothCopies(t *testing.T) {
+	w := newWorld(t, DelegationFrequency, 5, testParams(), nil)
+	primeQuality(w, 1, 4, 2, 0, sim.Minute) // node 1: quality 2
+	primeQuality(w, 2, 4, 1, 0, sim.Minute) // node 2: quality 1
+
+	base := 10 * sim.Minute
+	h := w.generate(base, 0, 4)
+	w.meet(base+sim.Minute, 0, 1) // forwarded; both copies labelled 2
+	// Node 2's quality (1) no longer beats the label (2): no forward from
+	// the source's relabelled copy.
+	w.meet(base+2*sim.Minute, 0, 2)
+	count := 0
+	for _, r := range w.rec.replicated {
+		if r.hash == h {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("replicas = %d, want 1 (source copy was relabelled)", count)
+	}
+}
+
+func TestDelegationDirectDeliveryIgnoresQuality(t *testing.T) {
+	w := newWorld(t, DelegationLastContact, 3, testParams(), nil)
+	h := w.generate(0, 0, 2)
+	w.meet(sim.Minute, 0, 2)
+	if _, ok := w.rec.delivered[h]; !ok {
+		t.Fatal("direct contact with the destination did not deliver")
+	}
+}
+
+func TestDelegationLastContactPrefersRecency(t *testing.T) {
+	w := newWorld(t, DelegationLastContact, 4, testParams(), nil)
+	// Source 0 met destination 3 early; node 1 met it more recently.
+	primeQuality(w, 0, 3, 1, sim.Minute, sim.Minute)
+	primeQuality(w, 1, 3, 1, 10*sim.Minute, sim.Minute)
+
+	base := 20 * sim.Minute
+	w.generate(base, 0, 3)
+	w.meet(base+sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 1 {
+		t.Fatal("more recent contact should have received the message")
+	}
+}
+
+func TestDelegationLiarNeverQualifies(t *testing.T) {
+	w := newWorld(t, DelegationFrequency, 4, testParams(), map[trace.NodeID]Behavior{
+		1: {Deviation: Liar},
+	})
+	primeQuality(w, 1, 3, 5, 0, sim.Minute) // truly excellent relay...
+	base := 10 * sim.Minute
+	w.generate(base, 0, 3)
+	w.meet(base+sim.Minute, 0, 1) // ...but it lies: claims zero
+	if len(w.rec.replicated) != 0 {
+		t.Error("liar received a relay despite claiming zero quality")
+	}
+	// The liar still receives messages destined to itself.
+	h := w.generate(base+2*sim.Minute, 0, 1)
+	w.meet(base+3*sim.Minute, 0, 1)
+	if _, ok := w.rec.delivered[h]; !ok {
+		t.Error("liar did not get its own message")
+	}
+}
+
+func TestDelegationDropperDiscards(t *testing.T) {
+	w := newWorld(t, DelegationFrequency, 4, testParams(), map[trace.NodeID]Behavior{
+		1: {Deviation: Dropper},
+	})
+	primeQuality(w, 1, 3, 3, 0, sim.Minute)
+	base := 10 * sim.Minute
+	h := w.generate(base, 0, 3)
+	w.meet(base+sim.Minute, 0, 1)   // dropper accepts (good quality), drops
+	w.meet(base+2*sim.Minute, 1, 3) // nothing left to deliver
+	if _, ok := w.rec.delivered[h]; ok {
+		t.Error("message delivered through a delegation dropper")
+	}
+}
+
+func TestDelegationLiarWithOutsidersHelpsCommunity(t *testing.T) {
+	sameCommunity := func(a, b trace.NodeID) bool { return (a <= 1) == (b <= 1) }
+	w := newWorld(t, DelegationFrequency, 4, testParams(), map[trace.NodeID]Behavior{
+		1: {Deviation: Liar, OnlyOutsiders: true, SameCommunity: sameCommunity},
+	})
+	primeQuality(w, 1, 3, 3, 0, sim.Minute)
+	base := 10 * sim.Minute
+	// Insider (node 0) gets a truthful answer.
+	w.generate(base, 0, 3)
+	w.meet(base+sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 1 {
+		t.Error("insider's message should have been forwarded")
+	}
+	// Outsider (node 2) is lied to.
+	w.generate(base+2*sim.Minute, 2, 3)
+	before := len(w.rec.replicated)
+	w.meet(base+3*sim.Minute, 2, 1)
+	if len(w.rec.replicated) != before {
+		t.Error("outsider's message forwarded despite the lie")
+	}
+}
+
+func TestDelegationTTLExpiry(t *testing.T) {
+	params := testParams()
+	w := newWorld(t, DelegationFrequency, 3, params, nil)
+	h := w.generate(0, 0, 2)
+	w.meet(params.Delta1+sim.Minute, 0, 2)
+	if _, ok := w.rec.delivered[h]; ok {
+		t.Error("delegation delivered after TTL")
+	}
+}

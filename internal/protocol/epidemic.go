@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"fmt"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// epidemicNode implements vanilla Epidemic Forwarding (Vahdat & Becker):
+// every contact is an opportunity to hand over every message the peer has
+// not seen. There is no accountability machinery, which is exactly why
+// droppers collapse it (Fig. 3).
+type epidemicNode struct {
+	base
+	seen   map[g2gcrypto.Digest]struct{}
+	buffer map[g2gcrypto.Digest]*epidemicCustody
+	seq    uint32
+}
+
+type epidemicCustody struct {
+	msg   *message.Message
+	genAt sim.Time
+}
+
+var _ Node = (*epidemicNode)(nil)
+
+func newEpidemicNode(env *Env, self g2gcrypto.Identity, behavior Behavior) *epidemicNode {
+	return &epidemicNode{
+		base:   newBase(env, self, behavior),
+		seen:   make(map[g2gcrypto.Digest]struct{}),
+		buffer: make(map[g2gcrypto.Digest]*epidemicCustody),
+	}
+}
+
+// Generate implements Node.
+func (n *epidemicNode) Generate(now sim.Time, dest trace.NodeID, body []byte) error {
+	if dest == n.ID() {
+		return fmt.Errorf("protocol: node %d generating a message to itself", n.ID())
+	}
+	n.seq++
+	m, err := message.New(n.env.Sys, n.self, dest, message.MakeID(n.ID(), n.seq), body)
+	if err != nil {
+		return err
+	}
+	h := m.Hash()
+	n.seen[h] = struct{}{}
+	n.buffer[h] = &epidemicCustody{msg: m, genAt: now}
+	n.env.Observer.Generated(h, message.MakeID(n.ID(), n.seq), n.ID(), dest, now)
+	return nil
+}
+
+// ObserveMeeting implements Node. Vanilla epidemic keeps no quality state.
+func (n *epidemicNode) ObserveMeeting(sim.Time, trace.NodeID) {}
+
+// DeliverPoM implements Node. Vanilla epidemic has no misbehavior handling;
+// broadcasts are ignored.
+func (n *epidemicNode) DeliverPoM(wire.Signed) {}
+
+// RunSession implements Node: hand the peer every live message it has not
+// seen.
+func (n *epidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
+	other, ok := peer.(*epidemicNode)
+	if !ok {
+		return false, fmt.Errorf("%w: %T vs %T", ErrProtocolMismatch, n, peer)
+	}
+	n.expire(now)
+	transferred := false
+	for _, h := range sortedDigests(n.buffer) {
+		c := n.buffer[h]
+		if _, dup := other.seen[h]; dup {
+			continue
+		}
+		size := messageFootprint(c.msg)
+		n.noteTx(size)
+		other.noteRx(size)
+		other.receive(now, n.ID(), c)
+		n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
+		transferred = true
+	}
+	return transferred, nil
+}
+
+// receive takes custody of (or drops) a copy handed over by from.
+func (n *epidemicNode) receive(now sim.Time, from trace.NodeID, c *epidemicCustody) {
+	h := c.msg.Hash()
+	n.seen[h] = struct{}{}
+	if c.msg.Dest == n.ID() {
+		n.env.Observer.Delivered(h, now)
+		return
+	}
+	// A dropper uses the system but discards everything it relays, right
+	// after the transfer completes.
+	if n.behavior.Deviation == Dropper && n.deviates(from) {
+		return
+	}
+	n.buffer[h] = &epidemicCustody{msg: c.msg, genAt: c.genAt}
+}
+
+// expire enforces the TTL (Δ1): expired messages leave the buffer.
+func (n *epidemicNode) expire(now sim.Time) {
+	for h, c := range n.buffer {
+		if now >= c.genAt.Add(n.env.Params.Delta1) {
+			delete(n.buffer, h)
+		}
+	}
+}
+
+// bufferLen is exposed for tests and memory accounting.
+func (n *epidemicNode) bufferLen() int { return len(n.buffer) }
+
+// MemoryBytes implements MemoryMeter.
+func (n *epidemicNode) MemoryBytes() int64 {
+	var total int64
+	for _, c := range n.buffer {
+		total += int64(messageFootprint(c.msg))
+	}
+	total += int64(len(n.seen)) * hashFootprint
+	return total
+}

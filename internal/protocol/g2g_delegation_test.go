@@ -1,0 +1,253 @@
+package protocol
+
+import (
+	"testing"
+
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// G2G delegation reports qualities from the last *completed* timeframe
+// (34 minutes), so tests prime encounter history inside frame 0 and start
+// the workload in frame 1.
+const frame1 = 40 * sim.Minute
+
+func TestG2GDelegationForwardsOnlyToBetterRelay(t *testing.T) {
+	w := newWorld(t, G2GDelegationFrequency, 5, testParams(), nil)
+	primeQuality(w, 1, 4, 2, 0, sim.Minute) // node 1: quality 2 in frame 0
+	w.generate(frame1, 0, 4)                // source quality 0
+	w.meet(frame1+sim.Minute, 0, 2)         // node 2: quality 0, no forward
+	if len(w.rec.replicated) != 0 {
+		t.Fatal("forwarded to a non-qualifying relay")
+	}
+	w.meet(frame1+2*sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 1 || w.rec.replicated[0].to != 1 {
+		t.Fatalf("qualifying relay did not receive the message: %+v", w.rec.replicated)
+	}
+}
+
+func TestG2GDelegationQualityInCurrentFrameNotVisible(t *testing.T) {
+	w := newWorld(t, G2GDelegationFrequency, 4, testParams(), nil)
+	// Node 1 meets the destination *inside the current frame*: the
+	// reported (frame-snapshotted) quality is still zero.
+	primeQuality(w, 1, 3, 3, frame1, sim.Minute)
+	w.generate(frame1+5*sim.Minute, 0, 3)
+	w.meet(frame1+6*sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 0 {
+		t.Error("current-frame encounters leaked into the reported quality")
+	}
+}
+
+func TestG2GDelegationDirectDeliveryViaDecoy(t *testing.T) {
+	// Even with zero claimed quality toward the decoy, the destination
+	// always receives the message.
+	w := newWorld(t, G2GDelegationLastContact, 4, testParams(), nil)
+	h := w.generate(frame1, 0, 2)
+	w.meet(frame1+sim.Minute, 0, 2)
+	if _, ok := w.rec.delivered[h]; !ok {
+		t.Fatal("destination did not receive the message on direct contact")
+	}
+	if len(w.rec.replicated) != 1 {
+		t.Errorf("replicas = %d, want 1", len(w.rec.replicated))
+	}
+}
+
+func TestG2GDelegationHonestChainPassesSenderTest(t *testing.T) {
+	params := testParams()
+	w := newWorld(t, G2GDelegationFrequency, 6, params, nil)
+	primeQuality(w, 1, 5, 1, 0, sim.Minute)             // relay R: quality 1
+	primeQuality(w, 2, 5, 2, 5*sim.Minute, sim.Minute)  // X: quality 2
+	primeQuality(w, 3, 5, 3, 10*sim.Minute, sim.Minute) // Y: quality 3
+
+	w.generate(frame1, 0, 5)
+	w.meet(frame1+sim.Minute, 0, 1)   // S -> R (label becomes 1)
+	w.meet(frame1+2*sim.Minute, 1, 2) // R -> X (label 1 -> 2)
+	w.meet(frame1+3*sim.Minute, 1, 3) // R -> Y (label 2 -> 3)
+	w.meet(frame1+params.Delta1+sim.Minute, 0, 1)
+	if len(w.rec.tested) != 1 {
+		t.Fatalf("tests = %d, want 1", len(w.rec.tested))
+	}
+	if !w.rec.tested[0].passed {
+		t.Error("honest delegation chain failed the sender test")
+	}
+	if len(w.rec.detected) != 0 {
+		t.Errorf("spurious detections: %+v", w.rec.detected)
+	}
+}
+
+func TestG2GDelegationDropperDetected(t *testing.T) {
+	params := testParams()
+	w := newWorld(t, G2GDelegationFrequency, 4, params, map[trace.NodeID]Behavior{
+		1: {Deviation: Dropper},
+	})
+	primeQuality(w, 1, 3, 2, 0, sim.Minute)
+	w.generate(frame1, 0, 3)
+	w.meet(frame1+sim.Minute, 0, 1) // dropper takes custody, drops
+	w.meet(frame1+params.Delta1+sim.Minute, 0, 1)
+	if !w.rec.detectedNode(1) {
+		t.Fatal("delegation dropper not detected")
+	}
+	if w.rec.detected[0].reason != wire.ReasonDropped {
+		t.Errorf("reason = %v, want dropped", w.rec.detected[0].reason)
+	}
+}
+
+func TestG2GDelegationCheaterDetected(t *testing.T) {
+	params := testParams()
+	w := newWorld(t, G2GDelegationFrequency, 6, params, map[trace.NodeID]Behavior{
+		1: {Deviation: Cheater},
+	})
+	primeQuality(w, 1, 5, 3, 0, sim.Minute)             // cheater: genuine quality 3
+	primeQuality(w, 2, 5, 1, 5*sim.Minute, sim.Minute)  // X: quality 1
+	primeQuality(w, 3, 5, 1, 10*sim.Minute, sim.Minute) // Y: quality 1
+
+	w.generate(frame1, 0, 5)
+	w.meet(frame1+sim.Minute, 0, 1) // S -> cheater (label 3)
+	// The cheater presents label 0, so the low-quality nodes qualify.
+	w.meet(frame1+2*sim.Minute, 1, 2)
+	w.meet(frame1+3*sim.Minute, 1, 3)
+	w.meet(frame1+params.Delta1+sim.Minute, 0, 1)
+	if !w.rec.detectedNode(1) {
+		t.Fatal("cheater not detected")
+	}
+	if w.rec.detected[0].reason != wire.ReasonCheated {
+		t.Errorf("reason = %v, want cheated", w.rec.detected[0].reason)
+	}
+}
+
+func TestG2GDelegationCheaterWithStorageProofPasses(t *testing.T) {
+	// A cheater that has not yet managed to relay still holds the message
+	// and passes via the storage proof: cheating is only observable in the
+	// PoR chain.
+	params := testParams()
+	w := newWorld(t, G2GDelegationFrequency, 4, params, map[trace.NodeID]Behavior{
+		1: {Deviation: Cheater},
+	})
+	primeQuality(w, 1, 3, 2, 0, sim.Minute)
+	w.generate(frame1, 0, 3)
+	w.meet(frame1+sim.Minute, 0, 1)
+	w.meet(frame1+params.Delta1+sim.Minute, 0, 1)
+	if len(w.rec.tested) != 1 || !w.rec.tested[0].passed {
+		t.Fatalf("unrelayed cheater should pass via storage proof: %+v", w.rec.tested)
+	}
+}
+
+func TestG2GDelegationLiarDetectedByDestination(t *testing.T) {
+	w := newWorld(t, G2GDelegationFrequency, 5, testParams(), map[trace.NodeID]Behavior{
+		2: {Deviation: Liar},
+	})
+	primeQuality(w, 0, 4, 1, 0, sim.Minute)             // source: quality 1
+	primeQuality(w, 2, 4, 3, 5*sim.Minute, sim.Minute)  // liar: true quality 3
+	primeQuality(w, 3, 4, 2, 10*sim.Minute, sim.Minute) // good relay: quality 2
+
+	h := w.generate(frame1, 0, 4)
+	// The liar claims 0 < 1: the source records the signed declaration.
+	w.meet(frame1+sim.Minute, 0, 2)
+	if len(w.rec.replicated) != 0 {
+		t.Fatal("liar should not have received the message")
+	}
+	// A good relay takes the message, with the declaration attached.
+	w.meet(frame1+2*sim.Minute, 0, 3)
+	// Delivery: the destination audits the attachment against its own
+	// symmetric record (3 encounters in frame 0) and catches the lie.
+	w.meet(frame1+3*sim.Minute, 3, 4)
+	if _, ok := w.rec.delivered[h]; !ok {
+		t.Fatal("message not delivered")
+	}
+	if !w.rec.detectedNode(2) {
+		t.Fatal("liar not detected by the destination")
+	}
+	if w.rec.detected[0].reason != wire.ReasonLied {
+		t.Errorf("reason = %v, want lied", w.rec.detected[0].reason)
+	}
+}
+
+func TestG2GDelegationTruthfulDeclarationPassesAudit(t *testing.T) {
+	w := newWorld(t, G2GDelegationFrequency, 5, testParams(), nil)
+	primeQuality(w, 0, 4, 2, 0, sim.Minute)             // source: quality 2
+	primeQuality(w, 2, 4, 1, 5*sim.Minute, sim.Minute)  // honest low-quality node
+	primeQuality(w, 3, 4, 3, 10*sim.Minute, sim.Minute) // good relay
+
+	h := w.generate(frame1, 0, 4)
+	w.meet(frame1+sim.Minute, 0, 2) // claims 1 < 2 truthfully: declaration stored
+	w.meet(frame1+2*sim.Minute, 0, 3)
+	w.meet(frame1+3*sim.Minute, 3, 4)
+	if _, ok := w.rec.delivered[h]; !ok {
+		t.Fatal("message not delivered")
+	}
+	if len(w.rec.detected) != 0 {
+		t.Errorf("truthful declaration triggered detection: %+v", w.rec.detected)
+	}
+}
+
+func TestG2GDelegationLiarWithOutsiders(t *testing.T) {
+	sameCommunity := func(a, b trace.NodeID) bool { return (a <= 1) == (b <= 1) }
+	w := newWorld(t, G2GDelegationFrequency, 5, testParams(), map[trace.NodeID]Behavior{
+		1: {Deviation: Liar, OnlyOutsiders: true, SameCommunity: sameCommunity},
+	})
+	primeQuality(w, 1, 4, 3, 0, sim.Minute)
+
+	// Insider source (node 0): truthful answer, message forwarded.
+	w.generate(frame1, 0, 4)
+	w.meet(frame1+sim.Minute, 0, 1)
+	if len(w.rec.replicated) != 1 {
+		t.Error("insider request should get a truthful, qualifying answer")
+	}
+	// Outsider source (node 2, quality 1): lied to.
+	primeQuality(w, 2, 4, 1, 5*sim.Minute, sim.Minute)
+	w.generate(frame1+2*sim.Minute, 2, 4)
+	before := len(w.rec.replicated)
+	w.meet(frame1+3*sim.Minute, 2, 1)
+	if len(w.rec.replicated) != before {
+		t.Error("outsider message forwarded despite the lie")
+	}
+}
+
+func TestG2GDelegationFanOutLimit(t *testing.T) {
+	w := newWorld(t, G2GDelegationFrequency, 8, testParams(), nil)
+	for peer := trace.NodeID(1); peer <= 6; peer++ {
+		// Everyone is an increasingly better relay toward node 7.
+		primeQuality(w, peer, 7, int(peer), 0, sim.Minute)
+	}
+	w.generate(frame1, 0, 7)
+	w.meet(frame1+sim.Minute, 0, 1) // node 1 (quality 1) becomes a relay
+	// The relay meets ever-better peers: only the first two qualifying get
+	// a copy; a relay's fan-out is capped at MaxRelays.
+	at := frame1 + 2*sim.Minute
+	for peer := trace.NodeID(2); peer <= 6; peer++ {
+		w.meet(at, 1, peer)
+		at += sim.Minute
+	}
+	fromRelay := 0
+	for _, r := range w.rec.replicated {
+		if r.from == 1 {
+			fromRelay++
+		}
+	}
+	if fromRelay != 2 {
+		t.Errorf("relay created %d replicas, want MaxRelays=2", fromRelay)
+	}
+}
+
+func TestG2GDelegationAuditSkipsStaleFrames(t *testing.T) {
+	params := testParams()
+	params.Delta1 = 3 * sim.Hour // keep the message alive across many frames
+	params.Delta2 = 6 * sim.Hour
+	w := newWorld(t, G2GDelegationFrequency, 5, params, map[trace.NodeID]Behavior{
+		2: {Deviation: Liar},
+	})
+	primeQuality(w, 0, 4, 1, 0, sim.Minute)
+	primeQuality(w, 2, 4, 3, 5*sim.Minute, sim.Minute)
+	primeQuality(w, 3, 4, 2, 10*sim.Minute, sim.Minute)
+
+	w.generate(frame1, 0, 4)
+	w.meet(frame1+sim.Minute, 0, 2) // lie recorded (about frame 0)
+	w.meet(frame1+2*sim.Minute, 0, 3)
+	// Delivery far in the future: frame 0 is no longer auditable (the
+	// paper keeps only the two last completed timeframes).
+	w.meet(frame1+3*sim.Hour-sim.Minute, 3, 4)
+	if w.rec.detectedNode(2) {
+		t.Error("stale frame was audited; the paper's nodes no longer hold that snapshot")
+	}
+}

@@ -1,0 +1,23 @@
+package protocol
+
+import (
+	"bytes"
+	"sort"
+
+	"give2get/internal/g2gcrypto"
+)
+
+// sortedDigests returns the map's keys in a stable (byte-wise) order.
+// Protocol loops iterate buffers through this helper so that whole
+// simulation runs are reproducible from a single seed: Go map iteration
+// order would otherwise leak nondeterminism into RNG consumption.
+func sortedDigests[T any](m map[g2gcrypto.Digest]T) []g2gcrypto.Digest {
+	keys := make([]g2gcrypto.Digest, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	})
+	return keys
+}

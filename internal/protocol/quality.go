@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"sort"
+
+	"give2get/internal/message"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// qualityTable records a node's encounter history with every peer and
+// answers the delegation quality queries of Section VI.
+//
+// The paper has every node keep three versions of each forwarding quality
+// (the current one plus the two last completed timeframes) so that a relay's
+// claim can be audited by the destination against its own symmetric record.
+// Storing the raw encounter times gives exactly those semantics — a quality
+// "as of the end of timeframe F" — while keeping the audit window rule
+// (only the last two completed frames are auditable) explicit in code.
+type qualityTable struct {
+	frameLen sim.Time
+	meetings map[trace.NodeID][]sim.Time // ascending by construction
+}
+
+func newQualityTable(frameLen sim.Time) *qualityTable {
+	return &qualityTable{frameLen: frameLen, meetings: make(map[trace.NodeID][]sim.Time)}
+}
+
+// observe records a physical encounter with peer at the given instant.
+func (q *qualityTable) observe(now sim.Time, peer trace.NodeID) {
+	q.meetings[peer] = append(q.meetings[peer], now)
+}
+
+// lastCompletedFrame returns the most recent timeframe that has fully
+// elapsed at `now`, or -1 if none has.
+func (q *qualityTable) lastCompletedFrame(now sim.Time) message.FrameIndex {
+	return message.FrameOf(now, q.frameLen) - 1
+}
+
+// frameEnd returns the closing instant of frame f.
+func (q *qualityTable) frameEnd(f message.FrameIndex) sim.Time {
+	return sim.Time(f+1) * q.frameLen
+}
+
+// qualityAt returns the node's quality toward peer as of instant upTo:
+// the cumulative encounter count for Destination Frequency, the time of the
+// most recent encounter for Destination Last Contact.
+func (q *qualityTable) qualityAt(peer trace.NodeID, upTo sim.Time, frequency bool) message.Quality {
+	times := q.meetings[peer]
+	// Index of the first meeting strictly after upTo.
+	n := sort.Search(len(times), func(i int) bool { return times[i] > upTo })
+	if frequency {
+		return message.QualityFromCount(n)
+	}
+	if n == 0 {
+		return 0
+	}
+	return message.QualityFromTime(times[n-1])
+}
+
+// reportedQuality returns the quality a faithful node declares in an
+// FQ_RESP at instant now: the value as of the end of the last completed
+// timeframe, together with that frame's index. Before the first frame
+// completes, the declared quality is zero with frame -1.
+func (q *qualityTable) reportedQuality(peer trace.NodeID, now sim.Time, frequency bool) (message.Quality, message.FrameIndex) {
+	frame := q.lastCompletedFrame(now)
+	if frame < 0 {
+		return 0, -1
+	}
+	return q.qualityAt(peer, q.frameEnd(frame), frequency), frame
+}
+
+// auditable reports whether a claim about frame f can still be audited at
+// instant now: the paper keeps only the two last completed frames.
+func (q *qualityTable) auditable(f message.FrameIndex, now sim.Time) bool {
+	last := q.lastCompletedFrame(now)
+	return f >= 0 && f >= last-1 && f <= last
+}
+
+// auditQuality returns this node's own record for (peer, frame), used by a
+// destination to check a relay's signed claim.
+func (q *qualityTable) auditQuality(peer trace.NodeID, f message.FrameIndex, frequency bool) message.Quality {
+	return q.qualityAt(peer, q.frameEnd(f), frequency)
+}

@@ -1,0 +1,113 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"give2get/internal/message"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+func TestQualityTableFrequency(t *testing.T) {
+	q := newQualityTable(34 * sim.Minute)
+	q.observe(5*sim.Minute, 7)
+	q.observe(10*sim.Minute, 7)
+	q.observe(50*sim.Minute, 7)
+
+	if got := q.qualityAt(7, 20*sim.Minute, true); got != 2 {
+		t.Errorf("qualityAt(20m) = %d, want 2", got)
+	}
+	if got := q.qualityAt(7, sim.Hour, true); got != 3 {
+		t.Errorf("qualityAt(1h) = %d, want 3", got)
+	}
+	if got := q.qualityAt(9, sim.Hour, true); got != 0 {
+		t.Errorf("unknown peer quality = %d, want 0", got)
+	}
+}
+
+func TestQualityTableLastContact(t *testing.T) {
+	q := newQualityTable(34 * sim.Minute)
+	q.observe(5*sim.Minute, 7)
+	q.observe(50*sim.Minute, 7)
+	if got := q.qualityAt(7, 20*sim.Minute, false); got != message.QualityFromTime(5*sim.Minute) {
+		t.Errorf("qualityAt(20m) = %d", got)
+	}
+	if got := q.qualityAt(7, sim.Hour, false); got != message.QualityFromTime(50*sim.Minute) {
+		t.Errorf("qualityAt(1h) = %d", got)
+	}
+	if got := q.qualityAt(7, sim.Minute, false); got != 0 {
+		t.Errorf("quality before first meeting = %d, want 0", got)
+	}
+}
+
+func TestReportedQualityUsesCompletedFrame(t *testing.T) {
+	frame := 34 * sim.Minute
+	q := newQualityTable(frame)
+	q.observe(5*sim.Minute, 3)  // frame 0
+	q.observe(40*sim.Minute, 3) // frame 1
+
+	// Within frame 0: nothing completed yet.
+	fq, idx := q.reportedQuality(3, 20*sim.Minute, true)
+	if fq != 0 || idx != -1 {
+		t.Errorf("frame-0 report = (%d, %d), want (0, -1)", fq, idx)
+	}
+	// Within frame 1: frame 0 is the snapshot; the frame-1 meeting is
+	// invisible.
+	fq, idx = q.reportedQuality(3, 50*sim.Minute, true)
+	if fq != 1 || idx != 0 {
+		t.Errorf("frame-1 report = (%d, %d), want (1, 0)", fq, idx)
+	}
+	// Within frame 2: both meetings counted.
+	fq, idx = q.reportedQuality(3, 80*sim.Minute, true)
+	if fq != 2 || idx != 1 {
+		t.Errorf("frame-2 report = (%d, %d), want (2, 1)", fq, idx)
+	}
+}
+
+func TestAuditableWindow(t *testing.T) {
+	frame := 34 * sim.Minute
+	q := newQualityTable(frame)
+	now := 5 * frame // last completed frame = 4
+	tests := []struct {
+		frame message.FrameIndex
+		want  bool
+	}{
+		{frame: -1}, {frame: 0}, {frame: 1}, {frame: 2},
+		{frame: 3, want: true}, {frame: 4, want: true},
+		{frame: 5}, // still current
+	}
+	for _, tt := range tests {
+		if got := q.auditable(tt.frame, now); got != tt.want {
+			t.Errorf("auditable(%d) = %v, want %v", tt.frame, got, tt.want)
+		}
+	}
+}
+
+// Property: two nodes observing the same meetings always agree on any
+// frame's audit quality — the symmetry the destination audit relies on.
+func TestQualityTableSymmetryProperty(t *testing.T) {
+	property := func(raw []uint16) bool {
+		a := newQualityTable(34 * sim.Minute)
+		b := newQualityTable(34 * sim.Minute)
+		at := sim.Time(0)
+		for _, v := range raw {
+			at += sim.Time(v%600) * sim.Second
+			a.observe(at, trace.NodeID(1))
+			b.observe(at, trace.NodeID(0))
+		}
+		now := at + sim.Hour
+		for f := message.FrameIndex(0); f <= message.FrameOf(now, 34*sim.Minute); f++ {
+			if a.auditQuality(1, f, true) != b.auditQuality(0, f, true) {
+				return false
+			}
+			if a.auditQuality(1, f, false) != b.auditQuality(0, f, false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

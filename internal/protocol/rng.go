@@ -1,0 +1,23 @@
+package protocol
+
+import (
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/sim"
+)
+
+// rngReader adapts the deterministic simulation RNG to io.Reader for the
+// crypto helpers, keeping whole runs reproducible from a single seed.
+type rngReader struct{ rng *sim.RNG }
+
+func (r rngReader) Read(p []byte) (int, error) {
+	r.rng.Bytes(p)
+	return len(p), nil
+}
+
+// newSessionKey draws the fresh per-handoff key k of the relay phase from
+// the simulation RNG.
+func newSessionKey(rng *sim.RNG) g2gcrypto.SessionKey {
+	var k g2gcrypto.SessionKey
+	rng.Bytes(k[:])
+	return k
+}

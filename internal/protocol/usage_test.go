@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"testing"
+
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+func TestUsageCountersAccumulate(t *testing.T) {
+	w := newWorld(t, G2GEpidemic, 4, testParams(), nil)
+	w.generate(0, 0, 3)
+	w.meet(sim.Minute, 0, 1)
+
+	src := w.nodes[0].UsageSnapshot()
+	relay := w.nodes[1].UsageSnapshot()
+	if src.Signatures == 0 {
+		t.Error("source spent no signatures despite a relay handoff")
+	}
+	if src.Verifications == 0 || relay.Verifications == 0 {
+		t.Error("no verifications counted")
+	}
+	if src.PayloadTxBytes == 0 {
+		t.Error("no payload bytes transmitted")
+	}
+	if relay.PayloadRxBytes != src.PayloadTxBytes {
+		t.Errorf("rx %d != tx %d", relay.PayloadRxBytes, src.PayloadTxBytes)
+	}
+	if src.ControlMessages == 0 {
+		t.Error("no control messages counted")
+	}
+}
+
+func TestUsageHeavyHMACCounted(t *testing.T) {
+	params := testParams()
+	w := newWorld(t, G2GEpidemic, 3, params, nil)
+	w.generate(0, 0, 2)
+	w.meet(sim.Minute, 0, 1)
+	// Relay 1 has no onward PoRs: the challenge forces a storage proof,
+	// which both sides account for.
+	w.meet(params.Delta1+sim.Minute, 0, 1)
+	relay := w.nodes[1].UsageSnapshot()
+	source := w.nodes[0].UsageSnapshot()
+	want := int64(params.HeavyHMACIterations)
+	if relay.HeavyHMACIterations != want {
+		t.Errorf("relay HMAC iterations = %d, want %d", relay.HeavyHMACIterations, want)
+	}
+	if source.HeavyHMACIterations != want {
+		t.Errorf("source (verifier) HMAC iterations = %d, want %d", source.HeavyHMACIterations, want)
+	}
+}
+
+func TestMemoryBytesTracksBuffers(t *testing.T) {
+	for _, kind := range []Kind{Epidemic, G2GEpidemic, DelegationFrequency, G2GDelegationFrequency} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			w := newWorld(t, kind, 4, testParams(), nil)
+			before := w.nodes[0].MemoryBytes()
+			if before != 0 {
+				t.Fatalf("fresh node memory = %d", before)
+			}
+			w.generate(40*sim.Minute, 0, 3)
+			after := w.nodes[0].MemoryBytes()
+			if after <= before {
+				t.Errorf("memory did not grow after generation: %d", after)
+			}
+		})
+	}
+}
+
+func TestMemorySampleIntegration(t *testing.T) {
+	w := newWorld(t, Epidemic, 2, testParams(), nil)
+	w.nodes[0].AddMemorySample(1234.5)
+	w.nodes[0].AddMemorySample(0.5)
+	if got := w.nodes[0].UsageSnapshot().MemoryByteSeconds; got != 1235 {
+		t.Errorf("MemoryByteSeconds = %v, want 1235", got)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := EnergyModel{
+		PerSignature:      2,
+		PerVerification:   3,
+		PerHMACIteration:  0.5,
+		PerPayloadByte:    0.1,
+		PerControlMessage: 1,
+	}
+	u := Usage{
+		Signatures:          4,
+		Verifications:       2,
+		HeavyHMACIterations: 10,
+		PayloadTxBytes:      100,
+		PayloadRxBytes:      50,
+		ControlMessages:     3,
+	}
+	want := 2.0*4 + 3.0*2 + 0.5*10 + 0.1*150 + 1.0*3
+	if got := m.Energy(u); got != want {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+	if DefaultEnergyModel().Energy(u) <= 0 {
+		t.Error("default model prices this usage at zero")
+	}
+	// The paper requires the full heavy HMAC to cost more than relaying:
+	// at the default iteration count it must exceed a signature + payload.
+	def := DefaultEnergyModel()
+	hmacCost := def.PerHMACIteration * 1024
+	relayCost := def.PerSignature + def.PerPayloadByte*200
+	if hmacCost <= relayCost {
+		t.Errorf("heavy HMAC cost %.2f does not exceed relay cost %.2f", hmacCost, relayCost)
+	}
+}
+
+func TestVanillaProtocolsCountTraffic(t *testing.T) {
+	w := newWorld(t, Epidemic, 3, testParams(), nil)
+	w.generate(0, 0, 2)
+	w.meet(sim.Minute, 0, 1)
+	if w.nodes[0].UsageSnapshot().PayloadTxBytes == 0 {
+		t.Error("epidemic transfer not counted")
+	}
+	if w.nodes[1].UsageSnapshot().PayloadRxBytes == 0 {
+		t.Error("epidemic reception not counted")
+	}
+
+	wd := newWorld(t, DelegationFrequency, 3, testParams(), nil)
+	primeQuality(wd, 1, 2, 2, 0, sim.Minute)
+	wd.generate(10*sim.Minute, 0, 2)
+	wd.meet(11*sim.Minute, 0, 1)
+	if wd.nodes[0].UsageSnapshot().PayloadTxBytes == 0 {
+		t.Error("delegation transfer not counted")
+	}
+	_ = trace.NodeID(0)
+}

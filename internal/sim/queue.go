@@ -1,0 +1,113 @@
+package sim
+
+// Event is a unit of work scheduled to run at a virtual instant. Events with
+// equal timestamps run in the order they were scheduled (FIFO), which keeps
+// runs deterministic.
+type Event struct {
+	// At is the virtual instant the event fires.
+	At Time
+	// Run is the event body. It receives the owning simulator so it can
+	// schedule follow-up events.
+	Run func(s *Simulator)
+
+	seq int64 // scheduling order, breaks timestamp ties deterministically
+	pos int   // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed from the queue before
+// firing.
+func (e *Event) Cancelled() bool { return e.pos == -1 && e.seq >= 0 }
+
+// eventQueue is a binary min-heap ordered by (At, seq). A hand-rolled heap
+// (rather than container/heap) avoids interface boxing on the hot path: the
+// trace replays push hundreds of thousands of events per run.
+type eventQueue struct {
+	items []*Event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].pos = i
+	q.items[j].pos = j
+}
+
+func (q *eventQueue) push(e *Event) {
+	e.pos = len(q.items)
+	q.items = append(q.items, e)
+	q.up(e.pos)
+}
+
+func (q *eventQueue) pop() *Event {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.swap(0, n-1)
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if n > 1 {
+		q.down(0)
+	}
+	top.pos = -1
+	return top
+}
+
+// remove deletes the event at heap index i.
+func (q *eventQueue) remove(i int) {
+	n := len(q.items)
+	e := q.items[i]
+	q.swap(i, n-1)
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if i < n-1 {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	e.pos = -1
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the item at index i toward the leaves; it reports whether the
+// item moved.
+func (q *eventQueue) down(i int) bool {
+	start := i
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Two labelled streams derived from the same seed must differ from each
+	// other and be reproducible.
+	m1 := StreamFromSeed(7, "mobility")
+	w1 := StreamFromSeed(7, "workload")
+	m2 := StreamFromSeed(7, "mobility")
+
+	same, diff := 0, 0
+	for i := 0; i < 64; i++ {
+		mv := m1.Int63()
+		if mv == m2.Int63() {
+			same++
+		}
+		if mv == w1.Int63() {
+			diff++
+		}
+	}
+	if same != 64 {
+		t.Errorf("identical labels reproduced %d/64 values", same)
+	}
+	if diff > 2 {
+		t.Errorf("distinct labels collided on %d/64 values", diff)
+	}
+}
+
+func TestDeriveSeedNeverZero(t *testing.T) {
+	property := func(seed int64, label string) bool {
+		return deriveSeed(seed, label) > 0
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(1)
+	const n = 20000
+	mean := 10 * Minute
+	var total float64
+	for i := 0; i < n; i++ {
+		total += SecondsOf(g.Exp(mean))
+	}
+	got := total / n
+	want := SecondsOf(mean)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Exp mean = %.1fs, want ~%.1fs", got, want)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.Exp(0); got != 0 {
+		t.Errorf("Exp(0) = %v, want 0", got)
+	}
+	if got := g.Exp(-Second); got != 0 {
+		t.Errorf("Exp(-1s) = %v, want 0", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	tests := []struct {
+		name string
+		mean float64
+	}{
+		{name: "small", mean: 2.5},
+		{name: "moderate", mean: 40},
+		{name: "large uses normal approx", mean: 900},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := NewRNG(5)
+			const n = 5000
+			total := 0
+			for i := 0; i < n; i++ {
+				total += g.Poisson(tt.mean)
+			}
+			got := float64(total) / n
+			if math.Abs(got-tt.mean)/tt.mean > 0.07 {
+				t.Errorf("Poisson mean = %.2f, want ~%.2f", got, tt.mean)
+			}
+		})
+	}
+}
+
+func TestPoissonNonPositive(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := g.Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestPoissonNonNegativeProperty(t *testing.T) {
+	g := NewRNG(9)
+	property := func(mean float64) bool {
+		m := math.Mod(math.Abs(mean), 1000)
+		return g.Poisson(m) >= 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(3)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %.3f", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(11)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPastEvent is returned by Schedule when an event is scheduled strictly
+// before the current virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Simulator owns the virtual clock and the event queue. It is single
+// threaded: Run drains the queue in timestamp order, advancing the clock to
+// each event before executing it.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	nextSeq int64
+	running bool
+	stopped bool
+	horizon Time // 0 means no horizon
+}
+
+// New returns an empty simulator positioned at the virtual epoch.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule enqueues fn to run at instant at. It returns the scheduled event,
+// which can later be passed to Cancel. Scheduling in the past is an error:
+// trace replays must never rewind the clock.
+func (s *Simulator) Schedule(at Time, fn func(s *Simulator)) (*Event, error) {
+	if at < s.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	e := &Event{At: at, Run: fn, seq: s.nextSeq}
+	s.nextSeq++
+	s.queue.push(e)
+	return e, nil
+}
+
+// After enqueues fn to run d after the current virtual time.
+func (s *Simulator) After(d Time, fn func(s *Simulator)) (*Event, error) {
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op and reports false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.pos < 0 || e.pos >= s.queue.Len() || s.queue.items[e.pos] != e {
+		return false
+	}
+	s.queue.remove(e.pos)
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run drains the event queue until it is empty, Stop is called, or the
+// horizon (if set with RunUntil) is reached. It returns the virtual time at
+// which the simulation settled.
+func (s *Simulator) Run() (Time, error) {
+	if s.running {
+		return s.now, errors.New("sim: Run called re-entrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	for !s.stopped {
+		e := s.queue.pop()
+		if e == nil {
+			break
+		}
+		if s.horizon > 0 && e.At > s.horizon {
+			// Past the horizon: leave the clock at the horizon and
+			// discard the event (events beyond the horizon never run).
+			s.now = s.horizon
+			break
+		}
+		s.now = e.At
+		e.Run(s)
+	}
+	return s.now, nil
+}
+
+// RunUntil runs the simulation up to and including events at instant horizon,
+// then returns. Events scheduled after the horizon remain unexecuted.
+func (s *Simulator) RunUntil(horizon Time) (Time, error) {
+	s.horizon = horizon
+	defer func() { s.horizon = 0 }()
+	return s.Run()
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"give2get/internal/sim"
+)
+
+// The on-disk format follows the CRAWDAD imote contact listings used by the
+// paper's datasets: one contact per line,
+//
+//	<nodeA> <nodeB> <startSeconds> <endSeconds>
+//
+// with '#' comment lines. An optional header line
+//
+//	# nodes=<N> name=<label>
+//
+// pins the node count and trace name; without it both are inferred.
+
+// Parse reads a contact trace from r. If the header is absent, the node
+// count is one more than the largest node ID seen.
+func Parse(r io.Reader) (*Trace, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	var (
+		contacts []Contact
+		nodes    int
+		name     = "trace"
+		lineNo   int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeader(line, &nodes, &name)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: node A: %w", lineNo, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: node B: %w", lineNo, err)
+		}
+		start, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start: %w", lineNo, err)
+		}
+		end, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: end: %w", lineNo, err)
+		}
+		contacts = append(contacts, Contact{
+			A:     NodeID(a),
+			B:     NodeID(b),
+			Start: sim.Seconds(start),
+			End:   sim.Seconds(end),
+		})
+		if a >= nodes {
+			nodes = a + 1
+		}
+		if b >= nodes {
+			nodes = b + 1
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if nodes == 0 {
+		return nil, ErrNoNodes
+	}
+	return New(name, nodes, contacts)
+}
+
+func parseHeader(line string, nodes *int, name *string) {
+	for _, tok := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		key, value, ok := strings.Cut(tok, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "nodes":
+			if n, err := strconv.Atoi(value); err == nil && n > *nodes {
+				*nodes = n
+			}
+		case "name":
+			*name = value
+		}
+	}
+}
+
+// Write serializes the trace in the format Parse accepts, including the
+// header line.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d name=%s\n", t.Nodes(), t.Name()); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, c := range t.Contacts() {
+		_, err := fmt.Fprintf(bw, "%d %d %.3f %.3f\n",
+			c.A, c.B, sim.SecondsOf(c.Start), sim.SecondsOf(c.End))
+		if err != nil {
+			return fmt.Errorf("trace: write contact: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"give2get/internal/sim"
+)
+
+func TestInterContactCCDF(t *testing.T) {
+	// Pair (0,1) meets three times with gaps of 10m and 100m.
+	tr, err := New("d", 2, []Contact{
+		c(0, 1, 0, sim.Minute),
+		c(0, 1, 11*sim.Minute, 12*sim.Minute),
+		c(0, 1, 112*sim.Minute, 113*sim.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccdf := InterContactCCDF(tr, 10)
+	if len(ccdf) != 10 {
+		t.Fatalf("points = %d", len(ccdf))
+	}
+	if ccdf[0].Fraction != 1 {
+		t.Errorf("CCDF at 1s = %v, want 1 (all gaps exceed a second)", ccdf[0].Fraction)
+	}
+	last := ccdf[len(ccdf)-1]
+	if last.Fraction != 0 {
+		t.Errorf("CCDF at max = %v, want 0", last.Fraction)
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i].Fraction > ccdf[i-1].Fraction {
+			t.Fatalf("CCDF not monotone at %d: %v", i, ccdf)
+		}
+		if ccdf[i].T <= ccdf[i-1].T {
+			t.Fatalf("abscissae not increasing at %d", i)
+		}
+	}
+}
+
+func TestInterContactCCDFDegenerate(t *testing.T) {
+	tr, err := New("d", 2, []Contact{c(0, 1, 0, sim.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InterContactCCDF(tr, 5); got != nil {
+		t.Errorf("single contact yielded CCDF %v", got)
+	}
+	tr2, err := New("d", 2, []Contact{
+		c(0, 1, 0, sim.Minute),
+		c(0, 1, 10*sim.Minute, 11*sim.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InterContactCCDF(tr2, 0); got != nil {
+		t.Errorf("zero points yielded %v", got)
+	}
+}
+
+func TestHourlyContactProfile(t *testing.T) {
+	tr, err := New("h", 3, []Contact{
+		c(0, 1, 30*sim.Minute, 40*sim.Minute),               // hour 0
+		c(1, 2, sim.Hour+sim.Minute, sim.Hour+2*sim.Minute), // hour 1
+		c(0, 2, 25*sim.Hour, 25*sim.Hour+sim.Minute),        // hour 1, next day
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := HourlyContactProfile(tr)
+	if profile[0] != 1 || profile[1] != 2 {
+		t.Errorf("profile = %v", profile[:3])
+	}
+	for h := 2; h < 24; h++ {
+		if profile[h] != 0 {
+			t.Errorf("hour %d = %d, want 0", h, profile[h])
+		}
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	tr, err := New("deg", 4, []Contact{
+		c(0, 1, 0, sim.Minute),
+		c(0, 2, 2*sim.Minute, 3*sim.Minute),
+		c(0, 1, 5*sim.Minute, 6*sim.Minute), // repeat: degree unchanged
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := DegreeDistribution(tr)
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Errorf("degree[%d] = %d, want %d", i, deg[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the CRAWDAD-style parser with arbitrary text. Under
+// plain `go test` only the seed corpus runs.
+func FuzzParse(f *testing.F) {
+	f.Add("# nodes=3 name=x\n0 1 0 5\n1 2 6.5 8\n")
+	f.Add("0 1 0 5")
+	f.Add("")
+	f.Add("# nodes=1\n")
+	f.Add("0 0 0 0\n")
+	f.Add("a b c d\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must serialize and re-parse into an
+		// equivalent trace.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if again.Nodes() != tr.Nodes() || again.Len() != tr.Len() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				again.Nodes(), again.Len(), tr.Nodes(), tr.Len())
+		}
+	})
+}

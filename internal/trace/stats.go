@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"give2get/internal/sim"
+)
+
+// Stats summarizes the structure of a trace: contact and inter-contact time
+// distributions and per-pair contact counts. These are the characteristics
+// (heterogeneous contact rates, community re-meets) that the Give2Get test
+// phases rely on, so experiments assert on them when calibrating synthetic
+// traces.
+type Stats struct {
+	Nodes            int
+	Contacts         int
+	Span             sim.Time
+	MeanContact      sim.Time
+	MedianContact    sim.Time
+	MeanInterContact sim.Time
+	// MedianInterContact is the median time between consecutive meetings of
+	// the same pair, over pairs that met at least twice.
+	MedianInterContact sim.Time
+	// PairsMeeting is the number of distinct pairs with at least one contact.
+	PairsMeeting int
+	// MeanContactsPerPair averages over pairs that met at least once.
+	MeanContactsPerPair float64
+}
+
+// PairKey canonically identifies an unordered node pair.
+type PairKey struct{ A, B NodeID }
+
+// MakePairKey normalizes (a, b) into a canonical PairKey with A < B.
+func MakePairKey(a, b NodeID) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{A: a, B: b}
+}
+
+// ComputeStats scans the trace once and derives its summary statistics.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Nodes: t.Nodes(), Contacts: t.Len()}
+	_, last := t.Span()
+	s.Span = last
+
+	perPair := make(map[PairKey][]Contact)
+	var durations []sim.Time
+	for _, c := range t.Contacts() {
+		durations = append(durations, c.Duration())
+		k := MakePairKey(c.A, c.B)
+		perPair[k] = append(perPair[k], c)
+	}
+	s.PairsMeeting = len(perPair)
+	if len(perPair) > 0 {
+		s.MeanContactsPerPair = float64(t.Len()) / float64(len(perPair))
+	}
+
+	var inters []sim.Time
+	for _, cs := range perPair {
+		for i := 1; i < len(cs); i++ {
+			gap := cs[i].Start - cs[i-1].End
+			if gap < 0 {
+				gap = 0 // overlapping contacts of the same pair
+			}
+			inters = append(inters, gap)
+		}
+	}
+	s.MeanContact, s.MedianContact = meanMedian(durations)
+	s.MeanInterContact, s.MedianInterContact = meanMedian(inters)
+	return s
+}
+
+func meanMedian(xs []sim.Time) (mean, median sim.Time) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sorted := make([]sim.Time, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total sim.Time
+	for _, x := range sorted {
+		total += x
+	}
+	return total / sim.Time(len(sorted)), sorted[len(sorted)/2]
+}
+
+// ContactCounts returns, for every unordered pair that met, the number of
+// contacts between them. This is the input to community detection.
+func ContactCounts(t *Trace) map[PairKey]int {
+	counts := make(map[PairKey]int)
+	for _, c := range t.Contacts() {
+		counts[MakePairKey(c.A, c.B)]++
+	}
+	return counts
+}
+
+// String renders the stats as a short human-readable block.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"nodes=%d contacts=%d span=%v meanContact=%v meanInterContact=%v pairs=%d contacts/pair=%.1f",
+		s.Nodes, s.Contacts, s.Span, s.MeanContact, s.MeanInterContact,
+		s.PairsMeeting, s.MeanContactsPerPair)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"give2get/internal/sim"
+)
+
+func TestComputeStats(t *testing.T) {
+	tr, err := New("s", 3, []Contact{
+		c(0, 1, 0, 2*sim.Minute),              // pair (0,1), contact #1
+		c(0, 1, 10*sim.Minute, 14*sim.Minute), // pair (0,1), contact #2: gap 8m
+		c(1, 2, 5*sim.Minute, 11*sim.Minute),  // pair (1,2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	if s.Nodes != 3 || s.Contacts != 3 {
+		t.Errorf("nodes/contacts = %d/%d", s.Nodes, s.Contacts)
+	}
+	if s.Span != 14*sim.Minute {
+		t.Errorf("Span = %v", s.Span)
+	}
+	if s.MeanContact != 4*sim.Minute { // (2+4+6)/3
+		t.Errorf("MeanContact = %v, want 4m", s.MeanContact)
+	}
+	if s.MedianContact != 4*sim.Minute {
+		t.Errorf("MedianContact = %v, want 4m", s.MedianContact)
+	}
+	if s.MeanInterContact != 8*sim.Minute {
+		t.Errorf("MeanInterContact = %v, want 8m", s.MeanInterContact)
+	}
+	if s.PairsMeeting != 2 {
+		t.Errorf("PairsMeeting = %d, want 2", s.PairsMeeting)
+	}
+	if s.MeanContactsPerPair != 1.5 {
+		t.Errorf("MeanContactsPerPair = %v, want 1.5", s.MeanContactsPerPair)
+	}
+	if !strings.Contains(s.String(), "nodes=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	tr, err := New("empty", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	if s.Contacts != 0 || s.MeanContact != 0 || s.MeanInterContact != 0 || s.PairsMeeting != 0 {
+		t.Errorf("empty stats not zero: %+v", s)
+	}
+}
+
+func TestOverlappingPairContactsClampGap(t *testing.T) {
+	tr, err := New("o", 2, []Contact{
+		c(0, 1, 0, 10*sim.Minute),
+		c(0, 1, 5*sim.Minute, 8*sim.Minute), // starts before previous ends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	if s.MeanInterContact != 0 {
+		t.Errorf("overlap gap = %v, want clamped to 0", s.MeanInterContact)
+	}
+}
+
+func TestContactCounts(t *testing.T) {
+	tr, err := New("cc", 3, []Contact{
+		c(0, 1, 0, sim.Minute),
+		c(1, 0, 2*sim.Minute, 3*sim.Minute), // same pair reversed
+		c(1, 2, 0, sim.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ContactCounts(tr)
+	if got := counts[MakePairKey(1, 0)]; got != 2 {
+		t.Errorf("count(0,1) = %d, want 2", got)
+	}
+	if got := counts[MakePairKey(2, 1)]; got != 1 {
+		t.Errorf("count(1,2) = %d, want 1", got)
+	}
+	if len(counts) != 2 {
+		t.Errorf("len(counts) = %d, want 2", len(counts))
+	}
+}
+
+func TestMakePairKeyCanonical(t *testing.T) {
+	if MakePairKey(5, 2) != MakePairKey(2, 5) {
+		t.Error("PairKey not canonical")
+	}
+	k := MakePairKey(5, 2)
+	if k.A != 2 || k.B != 5 {
+		t.Errorf("key = %+v", k)
+	}
+}
