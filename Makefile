@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The observability and metrics packages are the concurrency-sensitive ones
+# (atomic counters, sinks shared across goroutines, the progress reporter).
+race:
+	$(GO) test -race ./internal/obs ./internal/metrics ./internal/engine
+
+# One iteration per benchmark: smoke-checks the paper-artifact benches and
+# BenchmarkTelemetryOverhead without the full measurement cost.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: build vet test race

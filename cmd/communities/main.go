@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"give2get"
+	"give2get/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("communities", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -32,14 +33,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tracePath = fs.String("trace", "", "CRAWDAD-style contact file (overrides -preset)")
 		seed      = fs.Int64("seed", 42, "generation seed for presets")
 	)
+	var prof obs.Profiler
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := stopProf(); err == nil {
+			err = cerr
+		}
+	}()
 
-	var (
-		tr  *give2get.Trace
-		err error
-	)
+	var tr *give2get.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {

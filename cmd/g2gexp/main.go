@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"give2get/internal/experiments"
+	"give2get/internal/obs"
 )
 
 func main() {
@@ -24,7 +26,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("g2gexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -35,10 +37,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format     = fs.String("format", "text", "output format: text or csv")
 		verbose    = fs.Bool("v", false, "log every completed run")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
+		telemetry  = fs.String("telemetry", "", "write an aggregated JSON run report over all runs to this file")
 	)
+	var prof obs.Profiler
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := stopProf(); err == nil {
+			err = cerr
+		}
+	}()
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
 		return nil
@@ -47,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
 	if *verbose {
 		opts.Progress = stderr
+	}
+	if *telemetry != "" {
+		opts.Telemetry = obs.NewMetrics()
 	}
 
 	ids := experiments.IDs()
@@ -72,6 +89,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return fmt.Errorf("unknown format %q (want text or csv)", *format)
 			}
 			fmt.Fprintln(stdout)
+		}
+	}
+	if opts.Telemetry != nil {
+		b, err := json.MarshalIndent(opts.Telemetry.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*telemetry, append(b, '\n'), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

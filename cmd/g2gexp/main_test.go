@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -19,8 +22,10 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunSingleExperimentQuick(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "telemetry.json")
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-experiment", "secV", "-quick", "-v"}, &out, &errOut); err != nil {
+	err := run([]string{"-experiment", "secV", "-quick", "-v", "-telemetry", report}, &out, &errOut)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "detection probability") {
@@ -28,6 +33,22 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "secV") {
 		t.Errorf("verbose progress missing:\n%s", errOut.String())
+	}
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema string `json:"schema"`
+		Engine struct {
+			MessagesGenerated int64 `json:"messages_generated"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema == "" || snap.Engine.MessagesGenerated == 0 {
+		t.Errorf("aggregated telemetry empty:\n%s", b)
 	}
 }
 

@@ -6,9 +6,11 @@
 //	g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 30m
 //	g2gsim -trace contacts.txt -protocol epidemic -ttl 35m \
 //	       -droppers 10 -outsiders
+//	g2gsim -telemetry report.json -progress 10s -cpuprofile cpu.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"give2get"
+	"give2get/internal/obs"
 )
 
 func main() {
@@ -25,7 +28,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("g2gsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -40,16 +43,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		deviation = fs.String("deviation", "dropper", "deviation strategy (dropper|liar|cheater)")
 		outsiders = fs.Bool("outsiders", false, "deviants spare their own community")
 		realCrypt = fs.Bool("realcrypto", false, "use Ed25519/X25519/AES-GCM instead of the fast provider")
-		events    = fs.String("events", "", "write a JSON-lines event log of the run to this file")
+		events    = fs.String("events", "", "write a JSON-lines event log of the run to this file (legacy format)")
+		telemetry = fs.String("telemetry", "", "write the JSON run report (counters, phase timings) to this file")
+		tracelog  = fs.String("tracelog", "", "write a leveled JSON-lines trace of the run to this file")
+		progress  = fs.Duration("progress", 0, "print a progress line to stderr at this wall-clock period (0 = off)")
 	)
+	var prof obs.Profiler
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := stopProf(); err == nil {
+			err = cerr
+		}
+	}()
 
-	var (
-		tr  *give2get.Trace
-		err error
-	)
+	var tr *give2get.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -94,6 +108,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		cfg.EventLog = f
 	}
+	if *tracelog != "" {
+		f, err := os.Create(*tracelog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceJSON = f
+	}
+	if *progress > 0 {
+		cfg.Progress = stderr
+		cfg.ProgressInterval = *progress
+	}
 
 	res, err := give2get.Run(cfg)
 	if err != nil {
@@ -111,7 +137,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "detection:   %.1f%% exposed, mean %v after TTL, %d false accusations\n",
 			res.DetectionRate, res.MeanDetectionTime.Round(time.Second), res.FalseAccusations)
 	}
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, res.Telemetry); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "telemetry:   %d events (%.0f events/s) -> %s\n",
+			res.Telemetry.Sim.EventsFired, res.Telemetry.EventsPerSec(), *telemetry)
+	}
 	return nil
+}
+
+func writeTelemetry(path string, tel *give2get.Telemetry) error {
+	b, err := json.MarshalIndent(tel, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func dedupe(in []int) []int {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,6 +64,71 @@ func TestRunErrors(t *testing.T) {
 				t.Error("invalid invocation accepted")
 			}
 		})
+	}
+}
+
+func TestRunTelemetryReport(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	traceLog := filepath.Join(dir, "trace.jsonl")
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-preset", "infocom05", "-protocol", "g2g-epidemic",
+		"-ttl", "30m", "-interval", "2m",
+		"-telemetry", report, "-tracelog", traceLog,
+		"-memprofile", filepath.Join(dir, "mem.out"),
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "telemetry:") {
+		t.Errorf("no telemetry line:\n%s", out.String())
+	}
+
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema string `json:"schema"`
+		Sim    struct {
+			EventsFired int64 `json:"events_fired"`
+		} `json:"sim"`
+		Engine struct {
+			MessagesGenerated int64 `json:"messages_generated"`
+			Phases            struct {
+				Window struct {
+					WallNS int64 `json:"wall_ns"`
+				} `json:"window"`
+			} `json:"phases"`
+		} `json:"engine"`
+		Protocol struct {
+			Wire map[string]json.RawMessage `json:"wire"`
+		} `json:"protocol"`
+		Crypto struct {
+			Provider string `json:"provider"`
+		} `json:"crypto"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema == "" || snap.Sim.EventsFired == 0 || snap.Engine.MessagesGenerated == 0 ||
+		len(snap.Protocol.Wire) == 0 || snap.Crypto.Provider == "" {
+		t.Errorf("report missing subsystem data:\n%s", b)
+	}
+	if snap.Engine.Phases.Window.WallNS <= 0 {
+		t.Errorf("report missing phase timings:\n%s", b)
+	}
+
+	tl, err := os.ReadFile(traceLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tl, []byte(`"event":"generate"`)) {
+		t.Errorf("trace log has no generate records:\n%.300s", tl)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "mem.out")); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
 	}
 }
 

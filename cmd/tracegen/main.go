@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"give2get"
+	"give2get/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -34,9 +35,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		statsOnly = fs.Bool("stats", false, "print statistics instead of the trace")
 		ccdf      = fs.Bool("ccdf", false, "print the inter-contact time CCDF instead of the trace")
 	)
+	var prof obs.Profiler
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := stopProf(); err == nil {
+			err = cerr
+		}
+	}()
 
 	tr, err := give2get.GenerateTrace(give2get.Preset(*preset), *seed)
 	if err != nil {

@@ -7,10 +7,17 @@ import (
 	"time"
 
 	"give2get/internal/engine"
+	"give2get/internal/obs"
 	"give2get/internal/protocol"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 )
+
+// Telemetry is the structured run report: counters and timings from every
+// layer of the stack (event kernel, engine, protocol, crypto), frozen at the
+// end of a run. It serializes to the stable JSON schema named by its Schema
+// field.
+type Telemetry = obs.Snapshot
 
 // Protocol names a forwarding protocol.
 type Protocol string
@@ -91,7 +98,20 @@ type SimulationConfig struct {
 
 	// EventLog, when non-nil, receives one JSON line per protocol event
 	// (generate, replicate, deliver, test, detect) during the run.
+	//
+	// Deprecated: EventLog is kept for compatibility and still produces the
+	// original output byte for byte; new code should use TraceJSON, which
+	// additionally carries level and wall-clock fields.
 	EventLog io.Writer
+
+	// TraceJSON, when non-nil, receives one leveled JSON trace record per
+	// protocol event, including debug-level records and wall timestamps.
+	TraceJSON io.Writer
+	// Progress, when non-nil, receives a one-line progress report every
+	// ProgressInterval of wall time while the run executes.
+	Progress io.Writer
+	// ProgressInterval is the progress period; zero means 10 seconds.
+	ProgressInterval time.Duration
 }
 
 // Result summarizes a run.
@@ -119,6 +139,10 @@ type Result struct {
 	// Detections lists each exposed node with its misbehavior class and
 	// exposure time.
 	Detections []DetectionInfo
+
+	// Telemetry is the run report: per-subsystem counters and phase wall
+	// timings. Always populated.
+	Telemetry *Telemetry
 }
 
 // DetectionInfo describes one exposed deviant.
@@ -174,6 +198,11 @@ func Run(cfg SimulationConfig) (*Result, error) {
 		ecfg.Crypto = engine.CryptoReal
 	}
 	ecfg.EventLog = cfg.EventLog
+	if cfg.TraceJSON != nil {
+		ecfg.TraceSink = obs.NewJSONSink(cfg.TraceJSON, obs.LevelDebug)
+	}
+	ecfg.Progress = cfg.Progress
+	ecfg.ProgressEvery = cfg.ProgressInterval
 
 	windowStart := sim.Time(cfg.WindowStart)
 	if windowStart == 0 {
@@ -198,6 +227,7 @@ func Run(cfg SimulationConfig) (*Result, error) {
 		})
 	}
 	out := &Result{
+		Telemetry:         res.Telemetry,
 		Detections:        detections,
 		Generated:         res.Summary.Generated,
 		Delivered:         res.Summary.Delivered,

@@ -181,8 +181,26 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Telemetry contains wall-clock timings, which differ between runs by
+	// design; everything it measures in virtual time must not.
+	ta, tb := a.Telemetry, b.Telemetry
+	a.Telemetry, b.Telemetry = nil, nil
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	if ta == nil || tb == nil {
+		t.Fatal("telemetry not populated")
+	}
+	if ta.Sim != tb.Sim {
+		t.Errorf("same seed, different sim telemetry:\n%+v\n%+v", ta.Sim, tb.Sim)
+	}
+	if !reflect.DeepEqual(ta.Protocol, tb.Protocol) {
+		t.Errorf("same seed, different protocol telemetry:\n%+v\n%+v", ta.Protocol, tb.Protocol)
+	}
+	if ta.Engine.MessagesGenerated != tb.Engine.MessagesGenerated ||
+		ta.Engine.MessagesRelayed != tb.Engine.MessagesRelayed ||
+		ta.Engine.MessagesDelivered != tb.Engine.MessagesDelivered {
+		t.Errorf("same seed, different engine telemetry:\n%+v\n%+v", ta.Engine, tb.Engine)
 	}
 }
 

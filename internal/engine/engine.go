@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/kclique"
 	"give2get/internal/metrics"
 	"give2get/internal/mobility"
+	"give2get/internal/obs"
 	"give2get/internal/protocol"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
@@ -75,7 +77,24 @@ type Config struct {
 	// EventLog, when non-nil, receives one JSON line per protocol event
 	// (generate/replicate/deliver/test/detect) for debugging and offline
 	// analysis. Metrics are unaffected.
+	//
+	// Deprecated: EventLog is the pre-telemetry interface, kept for existing
+	// callers; it is adapted onto the trace layer with the original output
+	// format preserved byte for byte. New code should set TraceSink.
 	EventLog io.Writer
+	// TraceSink, when non-nil, receives the run's structured trace records
+	// (leveled, timestamped in sim and wall time). It composes with EventLog.
+	TraceSink obs.TraceSink
+	// Telemetry, when non-nil, is the registry the run records its counters
+	// and timings into; sharing one registry across runs aggregates a whole
+	// sweep. When nil the engine uses a private registry, so Result.Telemetry
+	// is always populated.
+	Telemetry *obs.Metrics
+	// Progress, when non-nil, receives periodic one-line progress reports
+	// every ProgressEvery of wall time (default 10s) while the run executes.
+	Progress io.Writer
+	// ProgressEvery is the wall-clock period of progress reports.
+	ProgressEvery time.Duration
 
 	// Deviants lists the nodes that deviate, all with the same deviation.
 	Deviants []trace.NodeID
@@ -131,6 +150,9 @@ type Result struct {
 	Usage []protocol.Usage
 	// EndedAt is the virtual time the simulation settled.
 	EndedAt sim.Time
+	// Telemetry is the run report: sim-kernel, engine, protocol, and crypto
+	// counters plus per-phase wall timings. Always non-nil.
+	Telemetry *obs.Snapshot
 }
 
 // DefaultWorkload fills in the paper's standard workload settings for a
@@ -161,6 +183,7 @@ type engine struct {
 	sys       g2gcrypto.System
 	env       *protocol.Env
 	collector *metrics.Collector
+	metrics   *obs.Metrics
 	nodes     []protocol.Node
 	comms     *kclique.Communities
 
@@ -194,22 +217,31 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 
-	collector := metrics.NewCollector()
-	var observer protocol.Observer = collector
-	if cfg.EventLog != nil {
-		observer = newEventLogger(cfg.EventLog, collector)
+	m := cfg.Telemetry
+	if m == nil {
+		m = obs.NewMetrics()
 	}
+	sys = g2gcrypto.Instrument(sys, &m.Crypto)
+
+	sink := cfg.TraceSink
+	if cfg.EventLog != nil {
+		sink = obs.Multi(sink, newLegacySink(cfg.EventLog))
+	}
+	collector := metrics.NewCollector()
+	observer := &runObserver{inner: collector, eng: &m.Engine, sink: sink}
 	env, err := protocol.NewEnv(sys, cfg.Params, observer,
 		sim.StreamFromSeed(cfg.Seed, "protocol"))
 	if err != nil {
 		return nil, err
 	}
+	env.SetMetrics(m)
 
 	e := &engine{
 		cfg:         cfg,
 		sys:         sys,
 		env:         env,
 		collector:   collector,
+		metrics:     m,
 		active:      make(map[trace.PairKey]int),
 		neighbors:   make([]map[trace.NodeID]struct{}, population),
 		workloadRNG: sim.StreamFromSeed(cfg.Seed, "workload"),
@@ -275,6 +307,7 @@ func (e *engine) buildBehavior() (protocol.Behavior, error) {
 }
 
 func (e *engine) broadcast(pom wire.Signed) {
+	e.metrics.Engine.NoteBroadcast()
 	for _, n := range e.nodes {
 		n.DeliverPoM(pom)
 	}
@@ -282,6 +315,7 @@ func (e *engine) broadcast(pom wire.Signed) {
 
 func (e *engine) run() (*Result, error) {
 	s := sim.New()
+	s.SetStats(&e.metrics.Sim)
 
 	if err := e.scheduleContacts(s); err != nil {
 		return nil, err
@@ -293,10 +327,44 @@ func (e *engine) run() (*Result, error) {
 		return nil, err
 	}
 
+	// Phase probes capture the wall clock as the virtual clock crosses the
+	// window boundaries. They are no-op events scheduled after everything
+	// else, so same-instant protocol events keep their order and the run
+	// stays deterministic in virtual time.
+	var wallAtWindowFrom, wallAtWindowTo time.Time
+	if e.cfg.WindowFrom >= e.startAt {
+		if _, err := s.Schedule(e.cfg.WindowFrom, func(*sim.Simulator) {
+			wallAtWindowFrom = time.Now()
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.Schedule(e.cfg.WindowTo, func(*sim.Simulator) {
+		wallAtWindowTo = time.Now()
+	}); err != nil {
+		return nil, err
+	}
+
+	stopProgress := e.startProgress()
+	wallStart := time.Now()
 	endedAt, err := s.RunUntil(e.endAt)
+	wallEnd := time.Now()
+	stopProgress()
 	if err != nil {
 		return nil, err
 	}
+
+	// Attribute the wall time to warmup / window / drain. A probe that never
+	// fired (empty trace tail) collapses its phase to zero.
+	if wallAtWindowFrom.IsZero() {
+		wallAtWindowFrom = wallStart
+	}
+	if wallAtWindowTo.IsZero() {
+		wallAtWindowTo = wallEnd
+	}
+	e.metrics.Engine.NotePhase(obs.PhaseWarmup, wallAtWindowFrom.Sub(wallStart))
+	e.metrics.Engine.NotePhase(obs.PhaseWindow, wallAtWindowTo.Sub(wallAtWindowFrom))
+	e.metrics.Engine.NotePhase(obs.PhaseDrain, wallEnd.Sub(wallAtWindowTo))
 
 	usage := make([]protocol.Usage, len(e.nodes))
 	for i, n := range e.nodes {
@@ -309,8 +377,50 @@ func (e *engine) run() (*Result, error) {
 		Communities: e.comms,
 		Usage:       usage,
 		EndedAt:     endedAt,
+		Telemetry:   e.metrics.Snapshot(),
 	}
 	return result, nil
+}
+
+// startProgress launches the periodic progress reporter; the returned stop
+// function blocks until the reporter goroutine exits. The reporter reads
+// only atomic counters (and the kernel's mirrored clock), so it never races
+// the single-threaded simulation.
+func (e *engine) startProgress() (stop func()) {
+	if e.cfg.Progress == nil {
+		return func() {}
+	}
+	every := e.cfg.ProgressEvery
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m := e.metrics
+				fmt.Fprintf(e.cfg.Progress,
+					"progress: sim=%v events=%d generated=%d delivered=%d wall=%v\n",
+					m.Sim.SimNow().Round(time.Second),
+					m.Sim.EventsFired.Load(),
+					m.Engine.MessagesGenerated.Load(),
+					m.Engine.MessagesDelivered.Load(),
+					time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 // scheduleMemorySampling integrates each node's buffer occupancy over the
@@ -399,6 +509,7 @@ func (e *engine) generate(now sim.Time, src, dst trace.NodeID, body []byte) {
 }
 
 func (e *engine) contactStart(now sim.Time, a, b trace.NodeID) {
+	e.metrics.Engine.NoteContact()
 	e.nodes[a].ObserveMeeting(now, b)
 	e.nodes[b].ObserveMeeting(now, a)
 	key := trace.MakePairKey(a, b)
@@ -443,6 +554,7 @@ func (e *engine) sessionPair(now sim.Time, a, b trace.NodeID) bool {
 	if t, err := nb.RunSession(now, na); err == nil && t {
 		moved = true
 	}
+	e.metrics.Engine.NoteSession(moved)
 	return moved
 }
 
@@ -453,6 +565,7 @@ func (e *engine) cascadeFrom(now sim.Time, origin trace.NodeID) {
 	if now < e.cfg.WindowFrom {
 		return
 	}
+	e.metrics.Engine.NoteCascade()
 	queue := []trace.NodeID{origin}
 	// The budget bounds pathological cascades; seen-sets guarantee natural
 	// termination long before it is hit.

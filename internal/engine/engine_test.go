@@ -12,7 +12,7 @@ import (
 )
 
 // testTrace builds a small two-community trace for integration tests.
-func testTrace(t *testing.T, seed int64) *trace.Trace {
+func testTrace(t testing.TB, seed int64) *trace.Trace {
 	t.Helper()
 	cfg := mobility.Config{
 		Name:           "engine-test",
@@ -29,7 +29,7 @@ func testTrace(t *testing.T, seed int64) *trace.Trace {
 	return tr
 }
 
-func baseConfig(t *testing.T, kind protocol.Kind) Config {
+func baseConfig(t testing.TB, kind protocol.Kind) Config {
 	t.Helper()
 	cfg := Config{
 		Trace:    testTrace(t, 1),

@@ -5,34 +5,97 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"time"
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
+	"give2get/internal/obs"
 	"give2get/internal/protocol"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 	"give2get/internal/wire"
 )
 
-// eventLogger tees protocol events to a JSON-lines stream for debugging and
-// offline analysis, while forwarding them to the real metrics collector.
-// Each line is one event:
-//
-//	{"t":"2m5s","event":"deliver","msg":"ab12cd34",...}
-type eventLogger struct {
-	mu    sync.Mutex
-	enc   *json.Encoder
+// runObserver wraps the metrics collector: it counts the message lifecycle
+// into the engine telemetry and, when a trace sink is attached, emits one
+// typed record per protocol event. With a nil sink the tracing side is a
+// single nil check and allocates nothing (see BenchmarkTelemetryOverhead).
+type runObserver struct {
 	inner protocol.Observer
+	eng   *obs.EngineStats
+	sink  obs.TraceSink
 }
 
-var _ protocol.Observer = (*eventLogger)(nil)
+var _ protocol.Observer = (*runObserver)(nil)
 
-func newEventLogger(w io.Writer, inner protocol.Observer) *eventLogger {
-	return &eventLogger{enc: json.NewEncoder(w), inner: inner}
+func shortHash(h g2gcrypto.Digest) string { return hex.EncodeToString(h[:4]) }
+
+// Generated implements protocol.Observer.
+func (o *runObserver) Generated(h g2gcrypto.Digest, id message.ID, src, dst trace.NodeID, at sim.Time) {
+	o.inner.Generated(h, id, src, dst, at)
+	o.eng.NoteGenerated()
+	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "generate")
+		rec.Wall = time.Now()
+		rec.Msg = shortHash(h)
+		rec.From, rec.To = int(src), int(dst)
+		o.sink.Emit(rec)
+	}
 }
 
-// eventRecord is the wire shape of one log line. Pointer fields are omitted
-// when not applicable to the event type.
+// Replicated implements protocol.Observer.
+func (o *runObserver) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at sim.Time) {
+	o.inner.Replicated(h, from, to, at)
+	o.eng.NoteRelayed()
+	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "replicate")
+		rec.Wall = time.Now()
+		rec.Msg = shortHash(h)
+		rec.From, rec.To = int(from), int(to)
+		o.sink.Emit(rec)
+	}
+}
+
+// Delivered implements protocol.Observer.
+func (o *runObserver) Delivered(h g2gcrypto.Digest, at sim.Time) {
+	o.inner.Delivered(h, at)
+	o.eng.NoteDelivered()
+	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "deliver")
+		rec.Wall = time.Now()
+		rec.Msg = shortHash(h)
+		o.sink.Emit(rec)
+	}
+}
+
+// Detected implements protocol.Observer.
+func (o *runObserver) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, h g2gcrypto.Digest, at, ttlExpiry sim.Time) {
+	o.inner.Detected(accused, reason, h, at, ttlExpiry)
+	if o.sink != nil && o.sink.Enabled(obs.LevelWarn) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelWarn, "detect")
+		rec.Wall = time.Now()
+		rec.Msg = shortHash(h)
+		rec.Node = int(accused)
+		rec.Reason = reason.String()
+		o.sink.Emit(rec)
+	}
+}
+
+// Tested implements protocol.Observer.
+func (o *runObserver) Tested(accused trace.NodeID, passed bool, at sim.Time) {
+	o.inner.Tested(accused, passed, at)
+	if o.sink != nil && o.sink.Enabled(obs.LevelDebug) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelDebug, "test")
+		rec.Wall = time.Now()
+		rec.Node = int(accused)
+		rec.Passed, rec.HasPassed = passed, true
+		o.sink.Emit(rec)
+	}
+}
+
+// eventRecord is the legacy Config.EventLog line shape, kept byte-for-byte
+// compatible with the original writer. Pointer fields are omitted when not
+// applicable to the event type.
 type eventRecord struct {
 	T     string `json:"t"`
 	Event string `json:"event"`
@@ -45,50 +108,41 @@ type eventRecord struct {
 	Passed *bool  `json:"passed,omitempty"`
 }
 
-func (l *eventLogger) emit(rec eventRecord) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// legacySink adapts the deprecated Config.EventLog writer onto the trace
+// layer: it accepts every level (the old logger had no levels) and re-encodes
+// each record in the original JSON-lines format, field order included.
+type legacySink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+var _ obs.TraceSink = (*legacySink)(nil)
+
+func newLegacySink(w io.Writer) *legacySink {
+	return &legacySink{enc: json.NewEncoder(w)}
+}
+
+// Enabled implements obs.TraceSink.
+func (s *legacySink) Enabled(obs.Level) bool { return true }
+
+// Emit implements obs.TraceSink.
+func (s *legacySink) Emit(r obs.Record) {
+	rec := eventRecord{T: sim.Time(r.Sim).String(), Event: r.Event, Msg: r.Msg, Reason: r.Reason}
+	if r.From >= 0 {
+		rec.From = &r.From
+	}
+	if r.To >= 0 {
+		rec.To = &r.To
+	}
+	if r.Node >= 0 {
+		rec.Node = &r.Node
+	}
+	if r.HasPassed {
+		rec.Passed = &r.Passed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// An unwritable log must not break the simulation; the metrics path is
 	// authoritative.
-	_ = l.enc.Encode(rec)
-}
-
-func shortHash(h g2gcrypto.Digest) string { return hex.EncodeToString(h[:4]) }
-
-func intPtr(n trace.NodeID) *int {
-	v := int(n)
-	return &v
-}
-
-// Generated implements protocol.Observer.
-func (l *eventLogger) Generated(h g2gcrypto.Digest, id message.ID, src, dst trace.NodeID, at sim.Time) {
-	l.inner.Generated(h, id, src, dst, at)
-	l.emit(eventRecord{T: at.String(), Event: "generate", Msg: shortHash(h),
-		From: intPtr(src), To: intPtr(dst)})
-}
-
-// Replicated implements protocol.Observer.
-func (l *eventLogger) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at sim.Time) {
-	l.inner.Replicated(h, from, to, at)
-	l.emit(eventRecord{T: at.String(), Event: "replicate", Msg: shortHash(h),
-		From: intPtr(from), To: intPtr(to)})
-}
-
-// Delivered implements protocol.Observer.
-func (l *eventLogger) Delivered(h g2gcrypto.Digest, at sim.Time) {
-	l.inner.Delivered(h, at)
-	l.emit(eventRecord{T: at.String(), Event: "deliver", Msg: shortHash(h)})
-}
-
-// Detected implements protocol.Observer.
-func (l *eventLogger) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, h g2gcrypto.Digest, at, ttlExpiry sim.Time) {
-	l.inner.Detected(accused, reason, h, at, ttlExpiry)
-	l.emit(eventRecord{T: at.String(), Event: "detect", Msg: shortHash(h),
-		Node: intPtr(accused), Reason: reason.String()})
-}
-
-// Tested implements protocol.Observer.
-func (l *eventLogger) Tested(accused trace.NodeID, passed bool, at sim.Time) {
-	l.inner.Tested(accused, passed, at)
-	l.emit(eventRecord{T: at.String(), Event: "test", Node: intPtr(accused), Passed: &passed})
+	_ = s.enc.Encode(rec)
 }

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/obs"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// TestLegacyEventLogByteIdentical pins the deprecated Config.EventLog format:
+// the adapter that now feeds it from the trace layer must produce the exact
+// byte stream the original event logger wrote.
+func TestLegacyEventLogByteIdentical(t *testing.T) {
+	var buf strings.Builder
+	o := &runObserver{inner: protocol.NopObserver{}, eng: nil, sink: newLegacySink(&buf)}
+
+	h := g2gcrypto.Hash([]byte("legacy"))
+	short := shortHash(h)
+	o.Generated(h, 1, 1, 2, 125*sim.Second)
+	o.Replicated(h, 1, 3, 130*sim.Second)
+	o.Delivered(h, 4*sim.Minute)
+	o.Tested(3, true, 5*sim.Minute)
+	o.Tested(3, false, 6*sim.Minute)
+	o.Detected(3, wire.ReasonDropped, h, 7*sim.Minute, 2*sim.Minute)
+
+	want := strings.Join([]string{
+		`{"t":"2m5s","event":"generate","msg":"` + short + `","from":1,"to":2}`,
+		`{"t":"2m10s","event":"replicate","msg":"` + short + `","from":1,"to":3}`,
+		`{"t":"4m0s","event":"deliver","msg":"` + short + `"}`,
+		`{"t":"5m0s","event":"test","node":3,"passed":true}`,
+		`{"t":"6m0s","event":"test","node":3,"passed":false}`,
+		`{"t":"7m0s","event":"detect","msg":"` + short + `","node":3,"reason":"dropped"}`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("legacy output drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestRunTelemetrySnapshot checks the end-to-end run report: every subsystem
+// contributes counters, phases carry wall time, and the snapshot serializes.
+func TestRunTelemetrySnapshot(t *testing.T) {
+	cfg := baseConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7}
+	cfg.Deviation = protocol.Dropper
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel == nil {
+		t.Fatal("Result.Telemetry is nil")
+	}
+	if tel.Sim.EventsFired == 0 || tel.Sim.EventsScheduled < tel.Sim.EventsFired {
+		t.Fatalf("sim counters implausible: %+v", tel.Sim)
+	}
+	if tel.Sim.QueueHighWater == 0 {
+		t.Fatal("queue high-water mark never observed")
+	}
+	if tel.Engine.ContactsReplayed == 0 || tel.Engine.SessionsRun == 0 {
+		t.Fatalf("engine counters implausible: %+v", tel.Engine)
+	}
+	if int(tel.Engine.MessagesGenerated) != res.Summary.Generated {
+		t.Fatalf("generated: telemetry %d vs summary %d", tel.Engine.MessagesGenerated, res.Summary.Generated)
+	}
+	if int(tel.Engine.MessagesDelivered) != res.Summary.Delivered {
+		t.Fatalf("delivered: telemetry %d vs summary %d", tel.Engine.MessagesDelivered, res.Summary.Delivered)
+	}
+	if int(tel.Engine.MessagesRelayed) != res.Summary.TotalReplicas {
+		t.Fatalf("relayed: telemetry %d vs summary %d", tel.Engine.MessagesRelayed, res.Summary.TotalReplicas)
+	}
+	if tel.Engine.PoMBroadcasts == 0 {
+		t.Fatal("droppers ran but no PoM broadcasts counted")
+	}
+	if int(tel.Protocol.TestsStarted) != res.Summary.TestsRun {
+		t.Fatalf("tests: telemetry %d vs summary %d", tel.Protocol.TestsStarted, res.Summary.TestsRun)
+	}
+	if len(tel.Protocol.Wire) == 0 || tel.Protocol.WireBytesTotal == 0 {
+		t.Fatalf("wire accounting empty: %+v", tel.Protocol)
+	}
+	if _, ok := tel.Protocol.Wire["POR"]; !ok {
+		t.Fatalf("no POR wire stats: %v", tel.Protocol.Wire)
+	}
+	if tel.Crypto.Provider != "fast" {
+		t.Fatalf("crypto provider = %q, want fast", tel.Crypto.Provider)
+	}
+	if tel.Crypto.Sign.Count == 0 || tel.Crypto.Verify.Count == 0 {
+		t.Fatalf("crypto op counts implausible: %+v", tel.Crypto)
+	}
+	if tel.Crypto.HeavyHMACIterations == 0 {
+		t.Fatal("no heavy-HMAC iterations recorded")
+	}
+	if tel.Engine.WallTotalNS <= 0 {
+		t.Fatalf("no wall time attributed to phases: %+v", tel.Engine.Phases)
+	}
+	if tel.EventsPerSec() <= 0 {
+		t.Fatal("events/sec not derivable")
+	}
+
+	b, err := json.Marshal(tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Schema != obs.SchemaVersion {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+}
+
+// TestTracingDoesNotPerturbRun: attaching sinks and telemetry must leave the
+// simulation bit-identical in virtual time.
+func TestTracingDoesNotPerturbRun(t *testing.T) {
+	plain := baseConfig(t, protocol.G2GEpidemic)
+	ref, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := baseConfig(t, protocol.G2GEpidemic)
+	ring := obs.NewRingSink(64, obs.LevelInfo)
+	traced.TraceSink = obs.Multi(ring, obs.NewJSONSink(io.Discard, obs.LevelDebug))
+	traced.Telemetry = obs.NewMetrics()
+	got, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Summary != got.Summary {
+		t.Fatalf("tracing changed the run:\n%+v\n%+v", ref.Summary, got.Summary)
+	}
+	if ref.EndedAt != got.EndedAt {
+		t.Fatalf("tracing changed the end time: %v vs %v", ref.EndedAt, got.EndedAt)
+	}
+	recs := ring.Records()
+	if len(recs) == 0 {
+		t.Fatal("ring sink captured nothing")
+	}
+	for _, r := range recs {
+		if r.Wall.IsZero() {
+			t.Fatalf("trace record missing wall time: %+v", r)
+		}
+		if r.Level < obs.LevelInfo {
+			t.Fatalf("ring sink captured below its level: %+v", r)
+		}
+	}
+}
+
+// TestSharedTelemetryAggregates: one registry across two runs sums counters.
+func TestSharedTelemetryAggregates(t *testing.T) {
+	m := obs.NewMetrics()
+	cfg := baseConfig(t, protocol.Epidemic)
+	cfg.Telemetry = m
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := m.Engine.MessagesGenerated.Load()
+	if int(afterFirst) != first.Summary.Generated {
+		t.Fatalf("first run: %d vs %d", afterFirst, first.Summary.Generated)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Engine.MessagesGenerated.Load(); got != 2*afterFirst {
+		t.Fatalf("aggregated generated = %d, want %d", got, 2*afterFirst)
+	}
+	if m.Engine.PhaseWall(obs.PhaseWindow) <= 0 {
+		t.Fatal("no window wall time aggregated")
+	}
+}
+
+// TestProgressReporting checks the periodic progress stream.
+func TestProgressReporting(t *testing.T) {
+	var buf strings.Builder
+	cfg := baseConfig(t, protocol.G2GEpidemic)
+	cfg.Progress = &buf
+	cfg.ProgressEvery = time.Millisecond
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "progress: sim=") || !strings.Contains(out, "events=") {
+		t.Fatalf("no progress lines in %q", out)
+	}
+}
+
+// TestObserverDisabledPathAllocationFree is the satellite gate: with no sink
+// attached, the observer path must not allocate per event.
+func TestObserverDisabledPathAllocationFree(t *testing.T) {
+	var eng obs.EngineStats
+	o := &runObserver{inner: protocol.NopObserver{}, eng: &eng, sink: nil}
+	h := g2gcrypto.Hash([]byte("alloc"))
+	allocs := testing.AllocsPerRun(1000, func() {
+		o.Generated(h, 1, 0, 1, sim.Second)
+		o.Replicated(h, 0, 1, sim.Second)
+		o.Delivered(h, sim.Second)
+		o.Tested(1, true, sim.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observer path allocates %v per event, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryOverhead compares a full run with tracing disabled (the
+// default: counters only, nil sink) against one with a debug-level JSON sink
+// attached, so the cost of the always-on path is visible in isolation.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	base := func(b *testing.B) Config {
+		cfg := baseConfig(b, protocol.G2GEpidemic)
+		cfg.Deviants = []trace.NodeID{2, 7}
+		cfg.Deviation = protocol.Dropper
+		return cfg
+	}
+	b.Run("disabled", func(b *testing.B) {
+		cfg := base(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		cfg := base(b)
+		cfg.TraceSink = obs.NewJSONSink(io.Discard, obs.LevelDebug)
+		cfg.Telemetry = obs.NewMetrics()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

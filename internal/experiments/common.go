@@ -7,6 +7,7 @@ import (
 
 	"give2get/internal/engine"
 	"give2get/internal/kclique"
+	"give2get/internal/obs"
 	"give2get/internal/protocol"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
@@ -28,6 +29,9 @@ type Options struct {
 	Repeats int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Telemetry, when non-nil, aggregates every run of the experiment into
+	// one shared registry (counters add up across runs and sweeps).
+	Telemetry *obs.Metrics
 }
 
 // interval is the mean Poisson message inter-generation time: the paper's
@@ -165,6 +169,7 @@ func (o Options) run(spec runSpec) (*engine.Result, error) {
 		Deviants:      spec.deviants,
 		Deviation:     spec.deviation,
 		OnlyOutsiders: spec.onlyOutsiders,
+		Telemetry:     o.Telemetry,
 	}
 	if spec.onlyOutsiders {
 		comms, err := scenarioCommunities(spec.scenario)

@@ -24,8 +24,13 @@ type Collector struct {
 	delivered map[g2gcrypto.Digest]sim.Time
 	replicas  map[g2gcrypto.Digest]int
 	// replicasAtDelivery snapshots, per delivered message, how many
-	// replicas existed when the destination first got it.
+	// replicas existed when the destination first got it. sealed marks
+	// snapshots as final: the protocols report Delivered before the
+	// Replicated event of the delivering handoff itself, so the snapshot is
+	// amended exactly once when that same-instant replica arrives, then
+	// frozen against later replication and duplicate deliveries.
 	replicasAtDelivery map[g2gcrypto.Digest]int
+	sealed             map[g2gcrypto.Digest]bool
 	detections         map[trace.NodeID]Detection
 	testsRun           int
 	testsFail          int
@@ -66,6 +71,7 @@ func NewCollector() *Collector {
 		delivered:          make(map[g2gcrypto.Digest]sim.Time),
 		replicas:           make(map[g2gcrypto.Digest]int),
 		replicasAtDelivery: make(map[g2gcrypto.Digest]int),
+		sealed:             make(map[g2gcrypto.Digest]bool),
 		detections:         make(map[trace.NodeID]Detection),
 	}
 }
@@ -78,13 +84,25 @@ func (c *Collector) Generated(h g2gcrypto.Digest, _ message.ID, src, dst trace.N
 }
 
 // Replicated implements protocol.Observer.
-func (c *Collector) Replicated(h g2gcrypto.Digest, _, _ trace.NodeID, _ sim.Time) {
+func (c *Collector) Replicated(h g2gcrypto.Digest, _, to trace.NodeID, at sim.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.replicas[h]++
+	// The protocols fire Delivered before the Replicated event of the very
+	// handoff that delivered, so that replica is missing from the snapshot
+	// taken in Delivered. Fold it in — exactly once — when it arrives: same
+	// instant, addressed to the destination, snapshot not yet sealed.
+	if dat, ok := c.delivered[h]; ok && !c.sealed[h] && dat == at {
+		if gen, ok := c.generated[h]; ok && to == gen.dst {
+			c.replicasAtDelivery[h]++
+			c.sealed[h] = true
+		}
+	}
 }
 
-// Delivered implements protocol.Observer.
+// Delivered implements protocol.Observer. Only the first delivery snapshots
+// replicasAtDelivery; duplicates (possible when several custodians meet the
+// destination at the same contact) are ignored.
 func (c *Collector) Delivered(h g2gcrypto.Digest, at sim.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

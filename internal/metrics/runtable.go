@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"time"
+
+	"give2get/internal/obs"
+)
+
+// RunTable renders one run's summary together with its telemetry: the
+// delivery metrics of the paper plus the run report columns (events fired,
+// events/sec, wall time per phase). A nil telemetry snapshot renders the
+// telemetry columns as "-".
+func RunTable(title string, s Summary, tel *obs.Snapshot) *Table {
+	t := NewTable(title,
+		"generated", "delivered", "success %", "mean delay", "cost",
+		"events", "events/s", "warmup", "window", "drain")
+	round := func(ns int64) string {
+		return time.Duration(ns).Round(time.Millisecond).String()
+	}
+	if tel == nil {
+		t.AddRow(s.Generated, s.Delivered, s.SuccessRate, time.Duration(s.MeanDelay).String(),
+			s.MeanCost, "-", "-", "-", "-", "-")
+		return t
+	}
+	t.AddRow(s.Generated, s.Delivered, s.SuccessRate, time.Duration(s.MeanDelay).String(),
+		s.MeanCost,
+		tel.Sim.EventsFired, tel.EventsPerSec(),
+		round(tel.Engine.Phases.Warmup.WallNS),
+		round(tel.Engine.Phases.Window.WallNS),
+		round(tel.Engine.Phases.Drain.WallNS))
+	return t
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"give2get/internal/obs"
+	"give2get/internal/sim"
+)
+
+// TestRunTableGolden pins the exact rendered output of the run summary
+// table, telemetry columns included.
+func TestRunTableGolden(t *testing.T) {
+	s := Summary{
+		Generated:   10,
+		Delivered:   8,
+		SuccessRate: 80,
+		MeanDelay:   90 * sim.Minute,
+		MeanCost:    3.5,
+	}
+	m := obs.NewMetrics()
+	for i := 0; i < 5000; i++ {
+		m.Sim.NoteFired(time.Duration(i))
+	}
+	m.Engine.NotePhase(obs.PhaseWarmup, 250*time.Millisecond)
+	m.Engine.NotePhase(obs.PhaseWindow, 2*time.Second)
+	m.Engine.NotePhase(obs.PhaseDrain, 250*time.Millisecond)
+	tel := m.Snapshot()
+
+	var b strings.Builder
+	if err := RunTable("run: g2g-epidemic", s, tel).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"run: g2g-epidemic",
+		"generated  delivered  success %  mean delay  cost  events  events/s  warmup  window  drain",
+		"------------------------------------------------------------------------------------------",
+		"10         8          80.00      1h30m0s     3.50  5000    2000.00   250ms   2s      250ms",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("rendered table mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunTableNilTelemetry(t *testing.T) {
+	var b strings.Builder
+	if err := RunTable("run", Summary{Generated: 1}, nil).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "events/s") || !strings.Contains(out, "-") {
+		t.Fatalf("nil-telemetry table unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed (a high-water mark). The
+// zero value is ready to use and reports 0.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the high-water mark to v if v exceeds it.
+func (g *MaxGauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of Histogram: power-of-two bucket i
+// holds values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i). 40 buckets
+// cover every latency up to ~18 minutes in nanoseconds and every size up to
+// ~½ TB in bytes.
+const histBuckets = 40
+
+// Histogram counts non-negative observations in fixed power-of-two buckets.
+// It allocates nothing on Observe and is safe for concurrent use. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     MaxGauge
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero; values beyond
+// the last bucket land in it.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.Observe(v)
+	h.buckets[i].Add(1)
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: N observations with
+// value < Lt (and >= the previous bucket's Lt).
+type HistogramBucket struct {
+	Lt int64 `json:"lt"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON-friendly summary of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Max     int64             `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram, listing only non-empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Lt: int64(1) << i, N: n})
+		}
+	}
+	return s
+}
+
+// TimerStat accumulates the call count and total wall-clock time of one
+// operation. The zero value is ready to use.
+type TimerStat struct {
+	n  atomic.Int64
+	ns atomic.Int64
+}
+
+// Note records one call that took d.
+func (t *TimerStat) Note(d time.Duration) {
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Count returns the number of recorded calls.
+func (t *TimerStat) Count() int64 { return t.n.Load() }
+
+// Total returns the accumulated wall time.
+func (t *TimerStat) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// OpSnapshot is the JSON-friendly summary of a TimerStat.
+type OpSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+}
+
+// Snapshot summarizes the timer.
+func (t *TimerStat) Snapshot() OpSnapshot {
+	s := OpSnapshot{Count: t.n.Load(), TotalNS: t.ns.Load()}
+	if s.Count > 0 {
+		s.MeanNS = float64(s.TotalNS) / float64(s.Count)
+	}
+	return s
+}

@@ -1,0 +1,274 @@
+// Package obs is the instrumentation layer of the simulation stack: atomic
+// run counters and fixed-bucket histograms (grouped per subsystem in a
+// Metrics registry), leveled structured tracing (TraceSink and its JSON-lines
+// and ring-buffer implementations), and profiling hooks for the CLIs.
+//
+// The package is stdlib-only and sits below every other package in the
+// repository, so the sim kernel, the crypto substrate, the protocol layer and
+// the engine can all record into it without import cycles. Every recording
+// entry point is nil-safe and allocation-free: a nil *Metrics (or a nil
+// sub-stats pointer, or a nil TraceSink) short-circuits immediately, which is
+// what keeps instrumentation zero-cost when disabled — the engine's
+// BenchmarkTelemetryOverhead and the allocation tests in this package prove
+// it.
+//
+// Telemetry never feeds back into simulation state: counters and wall-clock
+// timings are observations only, so instrumented runs stay bit-for-bit
+// deterministic in virtual time.
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level classifies trace records.
+type Level int8
+
+// Trace levels, from chattiest to most severe.
+const (
+	// LevelDebug marks high-volume records (per-challenge test events).
+	LevelDebug Level = iota
+	// LevelInfo marks the per-message lifecycle (generate/replicate/deliver)
+	// and run milestones (phase transitions, progress).
+	LevelInfo
+	// LevelWarn marks exceptional records (misbehavior detections).
+	LevelWarn
+)
+
+// String returns the level's canonical lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// Record is one typed trace event, timestamped in both simulation time (Sim,
+// the virtual offset from the run epoch) and wall time (Wall, stamped by the
+// emitter when a sink is attached; zero otherwise).
+//
+// Node-id fields use -1 for "not applicable" because 0 is a valid node id;
+// NewRecord returns a Record with them pre-blanked.
+type Record struct {
+	Sim   time.Duration
+	Wall  time.Time
+	Level Level
+	// Event names the record type: "generate", "replicate", "deliver",
+	// "test", "detect", or a run milestone such as "phase" or "progress".
+	Event string
+	// Msg is the short message digest (8 hex chars), "" when not applicable.
+	Msg string
+	// From, To, Node identify the involved nodes; -1 when not applicable.
+	From, To, Node int
+	// Reason is set on detect records.
+	Reason string
+	// Passed is meaningful only when HasPassed is set (test records).
+	Passed    bool
+	HasPassed bool
+}
+
+// NewRecord returns a Record with the node-id fields blanked to -1.
+func NewRecord(simAt time.Duration, level Level, event string) Record {
+	return Record{Sim: simAt, Level: level, Event: event, From: -1, To: -1, Node: -1}
+}
+
+// appendJSON appends the record's canonical JSON encoding (no trailing
+// newline). Field order is fixed: t, wall, level, event, msg, from, to,
+// node, reason, passed; inapplicable fields are omitted.
+func (r Record) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendQuote(dst, r.Sim.String())
+	if !r.Wall.IsZero() {
+		dst = append(dst, `,"wall":`...)
+		dst = r.Wall.AppendFormat(append(dst, '"'), time.RFC3339Nano)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, `,"level":`...)
+	dst = strconv.AppendQuote(dst, r.Level.String())
+	dst = append(dst, `,"event":`...)
+	dst = strconv.AppendQuote(dst, r.Event)
+	if r.Msg != "" {
+		dst = append(dst, `,"msg":`...)
+		dst = strconv.AppendQuote(dst, r.Msg)
+	}
+	if r.From >= 0 {
+		dst = append(dst, `,"from":`...)
+		dst = strconv.AppendInt(dst, int64(r.From), 10)
+	}
+	if r.To >= 0 {
+		dst = append(dst, `,"to":`...)
+		dst = strconv.AppendInt(dst, int64(r.To), 10)
+	}
+	if r.Node >= 0 {
+		dst = append(dst, `,"node":`...)
+		dst = strconv.AppendInt(dst, int64(r.Node), 10)
+	}
+	if r.Reason != "" {
+		dst = append(dst, `,"reason":`...)
+		dst = strconv.AppendQuote(dst, r.Reason)
+	}
+	if r.HasPassed {
+		dst = append(dst, `,"passed":`...)
+		dst = strconv.AppendBool(dst, r.Passed)
+	}
+	return append(dst, '}')
+}
+
+// MarshalJSON implements json.Marshaler with the canonical field order.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return r.appendJSON(nil), nil
+}
+
+// TraceSink receives trace records. Implementations must be safe for
+// concurrent use; emitters are expected to check Enabled before building a
+// Record so that disabled levels cost nothing.
+type TraceSink interface {
+	// Enabled reports whether records at the given level are captured.
+	Enabled(Level) bool
+	// Emit captures one record. The sink must not retain slices aliased
+	// into the caller's buffers (Record contains none).
+	Emit(Record)
+}
+
+// Emit forwards rec to sink if the sink is non-nil and enabled at the
+// record's level. It is the nil-safe convenience wrapper for call sites that
+// already hold a fully built Record.
+func Emit(sink TraceSink, rec Record) {
+	if sink == nil || !sink.Enabled(rec.Level) {
+		return
+	}
+	sink.Emit(rec)
+}
+
+// JSONSink writes one JSON object per record, newline-delimited, dropping
+// records below its minimum level. It is safe for concurrent use.
+type JSONSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	buf []byte
+}
+
+// NewJSONSink returns a sink writing records at or above min to w.
+func NewJSONSink(w io.Writer, min Level) *JSONSink {
+	return &JSONSink{w: w, min: min}
+}
+
+// Enabled implements TraceSink.
+func (s *JSONSink) Enabled(l Level) bool { return s != nil && l >= s.min }
+
+// Emit implements TraceSink. Write errors are swallowed: an unwritable trace
+// must never break a simulation (the metrics path stays authoritative).
+func (s *JSONSink) Emit(rec Record) {
+	if !s.Enabled(rec.Level) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = rec.appendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	_, _ = s.w.Write(s.buf)
+}
+
+// RingSink keeps the last N records in a bounded ring buffer: cheap
+// always-on capture whose tail can be attached to failure reports or the
+// telemetry JSON. It is safe for concurrent use.
+type RingSink struct {
+	mu   sync.Mutex
+	recs []Record
+	next int
+	full bool
+	min  Level
+}
+
+// NewRingSink returns a ring holding the most recent capacity records at or
+// above min. Capacity below 1 is raised to 1.
+func NewRingSink(capacity int, min Level) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{recs: make([]Record, capacity), min: min}
+}
+
+// Enabled implements TraceSink.
+func (s *RingSink) Enabled(l Level) bool { return s != nil && l >= s.min }
+
+// Emit implements TraceSink.
+func (s *RingSink) Emit(rec Record) {
+	if !s.Enabled(rec.Level) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[s.next] = rec
+	s.next++
+	if s.next == len(s.recs) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// Records returns the buffered records, oldest first.
+func (s *RingSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Record(nil), s.recs[:s.next]...)
+	}
+	out := make([]Record, 0, len(s.recs))
+	out = append(out, s.recs[s.next:]...)
+	return append(out, s.recs[:s.next]...)
+}
+
+// multiSink fans records out to several sinks, honoring each sink's level.
+type multiSink struct {
+	sinks []TraceSink
+}
+
+// Multi combines sinks into one TraceSink. Nil entries are dropped; with
+// zero or one live sink the result is nil or that sink unwrapped, so callers
+// can build the chain unconditionally and still get the nil fast path.
+func Multi(sinks ...TraceSink) TraceSink {
+	live := make([]TraceSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return &multiSink{sinks: live}
+	}
+}
+
+// Enabled implements TraceSink: true if any child sink is enabled.
+func (m *multiSink) Enabled(l Level) bool {
+	for _, s := range m.sinks {
+		if s.Enabled(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit implements TraceSink.
+func (m *multiSink) Emit(rec Record) {
+	for _, s := range m.sinks {
+		if s.Enabled(rec.Level) {
+			s.Emit(rec)
+		}
+	}
+}

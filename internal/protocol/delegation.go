@@ -68,6 +68,7 @@ func (n *delegationNode) Generate(now sim.Time, dest trace.NodeID, body []byte) 
 
 // ObserveMeeting implements Node.
 func (n *delegationNode) ObserveMeeting(now sim.Time, peer trace.NodeID) {
+	n.noteQualityUpdate()
 	n.quality.observe(now, peer)
 }
 

@@ -121,6 +121,7 @@ func (n *g2gDelegationNode) Generate(now sim.Time, dest trace.NodeID, body []byt
 
 // ObserveMeeting implements Node.
 func (n *g2gDelegationNode) ObserveMeeting(now sim.Time, peer trace.NodeID) {
+	n.noteQualityUpdate()
 	n.quality.observe(now, peer)
 }
 
@@ -403,11 +404,13 @@ func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
 				continue
 			}
 			pt.tested = true
+			n.noteTestStarted()
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
 			resp := other.handlePORChallenge(now, challenge)
 			passed, reason, evidence := n.evaluateTestResponse(c, pt, seed, resp)
+			n.noteTested(passed)
 			n.env.Observer.Tested(other.ID(), passed, now)
 			if !passed {
 				n.reportMisbehavior(now, other.ID(), reason, evidence, h,
@@ -457,8 +460,7 @@ func (n *g2gDelegationNode) evaluateTestResponse(c *g2gDelCustody, pt *delPendin
 		if body.Hash != c.hash || body.Seed != seed || c.raw == nil {
 			return false, wire.ReasonDropped, dropEvidence
 		}
-		n.noteHMAC(n.env.Params.HeavyHMACIterations)
-		if !g2gcrypto.VerifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC) {
+		if !n.verifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC) {
 			return false, wire.ReasonDropped, dropEvidence
 		}
 		return true, 0, nil
@@ -481,8 +483,7 @@ func (n *g2gDelegationNode) handlePORChallenge(now sim.Time, challenge wire.Sign
 		return &resp
 	}
 	if c.raw != nil {
-		n.noteHMAC(n.env.Params.HeavyHMACIterations)
-		mac := g2gcrypto.HeavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
+		mac := n.heavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
 		resp := n.signed(now, wire.StoredResponse{Hash: body.Hash, Seed: body.Seed, MAC: mac})
 		return &resp
 	}

@@ -131,11 +131,13 @@ func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
 				continue
 			}
 			pt.tested = true
+			n.noteTestStarted()
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
 			resp := other.handlePORChallenge(now, challenge)
 			passed := n.evaluateTestResponse(c, other.ID(), seed, resp)
+			n.noteTested(passed)
 			n.env.Observer.Tested(other.ID(), passed, now)
 			if !passed {
 				n.reportMisbehavior(now, other.ID(), wire.ReasonDropped,
@@ -161,8 +163,7 @@ func (n *g2gEpidemicNode) evaluateTestResponse(c *g2gCustody, relay trace.NodeID
 		if body.Hash != c.hash || body.Seed != seed || c.raw == nil {
 			return false
 		}
-		n.noteHMAC(n.env.Params.HeavyHMACIterations)
-		return g2gcrypto.VerifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC)
+		return n.verifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC)
 	default:
 		return false
 	}
@@ -210,8 +211,7 @@ func (n *g2gEpidemicNode) handlePORChallenge(now sim.Time, challenge wire.Signed
 		return &resp
 	}
 	if c.raw != nil {
-		n.noteHMAC(n.env.Params.HeavyHMACIterations)
-		mac := g2gcrypto.HeavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
+		mac := n.heavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
 		resp := n.signed(now, wire.StoredResponse{Hash: body.Hash, Seed: body.Seed, MAC: mac})
 		return &resp
 	}

@@ -18,6 +18,7 @@ import (
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
+	"give2get/internal/obs"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 	"give2get/internal/wire"
@@ -231,23 +232,40 @@ type Env struct {
 	// Broadcast distributes a proof of misbehavior to the whole network.
 	// The engine wires it to deliver to every node. May be nil in tests.
 	Broadcast func(pom wire.Signed)
+
+	// stats and crypto are the optional telemetry collectors attached with
+	// SetMetrics; both are nil-safe, so an uninstrumented Env records
+	// nothing at the cost of a pointer test.
+	stats  *obs.ProtocolStats
+	crypto *obs.CryptoStats
+}
+
+// SetMetrics attaches the run's telemetry registry to the environment and
+// teaches it the wire-kind names for snapshots. A nil registry detaches.
+func (e *Env) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		e.stats, e.crypto = nil, nil
+		return
+	}
+	e.stats, e.crypto = &m.Protocol, &m.Crypto
+	m.Protocol.KindNamer = func(k uint8) string { return wire.Kind(k).String() }
 }
 
 // NewEnv validates and assembles an environment.
-func NewEnv(sys g2gcrypto.System, params Params, obs Observer, rng *sim.RNG) (*Env, error) {
+func NewEnv(sys g2gcrypto.System, params Params, observer Observer, rng *sim.RNG) (*Env, error) {
 	if sys == nil {
 		return nil, errors.New("protocol: nil crypto system")
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	if obs == nil {
-		obs = NopObserver{}
+	if observer == nil {
+		observer = NopObserver{}
 	}
 	if rng == nil {
 		rng = sim.NewRNG(1)
 	}
-	return &Env{Sys: sys, Params: params, Observer: obs, RNG: rng}, nil
+	return &Env{Sys: sys, Params: params, Observer: observer, RNG: rng}, nil
 }
 
 // Node is the engine-facing surface of a protocol instance.
@@ -308,11 +326,33 @@ type base struct {
 	blacklist map[trace.NodeID]struct{}
 }
 
-// signed wraps wire.Sign, accounting for the signature the node spends.
+// signed wraps wire.Sign, accounting for the signature the node spends and
+// the signed message's kind and encoded size in the telemetry.
 func (b *base) signed(at sim.Time, body wire.Body) wire.Signed {
 	b.noteSign()
-	return wire.Sign(b.self, at, body)
+	s := wire.Sign(b.self, at, body)
+	b.env.stats.NoteWire(uint8(body.Kind()), wire.SizeOf(s))
+	return s
 }
+
+// heavyHMAC computes the storage proof, accounting both the per-node usage
+// and the run telemetry (count, wall time, iterations).
+func (b *base) heavyHMAC(msg, seed []byte, iterations int) g2gcrypto.Digest {
+	b.noteHMAC(iterations)
+	return g2gcrypto.TimedHeavyHMAC(b.env.crypto, msg, seed, iterations)
+}
+
+// verifyHeavyHMAC verifies a storage proof with the same accounting.
+func (b *base) verifyHeavyHMAC(msg, seed []byte, iterations int, response g2gcrypto.Digest) bool {
+	b.noteHMAC(iterations)
+	return g2gcrypto.TimedVerifyHeavyHMAC(b.env.crypto, msg, seed, iterations, response)
+}
+
+// noteTestStarted, noteTested, and noteQualityUpdate forward to the run
+// telemetry (nil-safe).
+func (b *base) noteTestStarted()       { b.env.stats.NoteTestStarted() }
+func (b *base) noteTested(passed bool) { b.env.stats.NoteTested(passed) }
+func (b *base) noteQualityUpdate()     { b.env.stats.NoteQualityUpdate() }
 
 // verified wraps envelope verification, accounting for the public-key
 // operation.

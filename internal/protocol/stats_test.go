@@ -1,0 +1,82 @@
+package protocol
+
+import (
+	"testing"
+
+	"give2get/internal/obs"
+	"give2get/internal/sim"
+	"give2get/internal/wire"
+)
+
+// TestSessionTelemetry drives a G2G Epidemic relay + test phase with a
+// metrics registry attached and checks the protocol/crypto counters.
+func TestSessionTelemetry(t *testing.T) {
+	params := DefaultParams(30 * sim.Minute)
+	params.HeavyHMACIterations = 4
+	w := newWorld(t, G2GEpidemic, 4, params, nil)
+	m := obs.NewMetrics()
+	w.env.SetMetrics(m)
+
+	w.generate(0, 0, 3)
+	w.meet(sim.Minute, 0, 1)   // relay phase: 0 hands the message to 1
+	w.meet(2*sim.Minute, 1, 3) // 1 delivers to destination 3
+
+	// After Δ1 the source tests its relay.
+	w.meet(params.Delta1.Add(sim.Minute), 0, 1)
+
+	if got := m.Protocol.TestsStarted.Load(); got != 1 {
+		t.Fatalf("tests started = %d, want 1", got)
+	}
+	if got := m.Protocol.TestsPassed.Load(); got != 1 {
+		t.Fatalf("tests passed = %d, want 1", got)
+	}
+	if got := m.Protocol.TestsFailed.Load(); got != 0 {
+		t.Fatalf("tests failed = %d, want 0", got)
+	}
+	// The relay answered with a storage proof (only one onward PoR), so both
+	// sides ran the heavy HMAC through the instrumented helper.
+	if got := m.Crypto.HeavyHMAC.Count(); got != 2 {
+		t.Fatalf("heavy HMAC count = %d, want 2", got)
+	}
+	if got := m.Crypto.HeavyHMACIterations.Load(); got != 8 {
+		t.Fatalf("heavy HMAC iterations = %d, want 8", got)
+	}
+
+	snap := m.Snapshot()
+	// The relay phase must have accounted RELAY_RQST, RELAY_OK, RELAY, POR,
+	// KEY wire messages by name, with bytes matching the recorded counts.
+	for _, name := range []string{"RELAY_RQST", "RELAY_OK", "RELAY", "POR", "KEY", "POR_RQST"} {
+		ws, ok := snap.Protocol.Wire[name]
+		if !ok || ws.Count == 0 {
+			t.Fatalf("wire stats missing %s: %+v", name, snap.Protocol.Wire)
+		}
+		if ws.Bytes <= ws.Count*21 {
+			t.Fatalf("wire bytes for %s implausibly small: %+v", name, ws)
+		}
+	}
+	if snap.Protocol.WireSizes.Count == 0 {
+		t.Fatal("wire size histogram empty")
+	}
+
+	// Detaching stops recording without breaking the protocol.
+	w.env.SetMetrics(nil)
+	before := m.Protocol.QualityUpdates.Load()
+	w.meet(params.Delta1.Add(2*sim.Minute), 0, 2)
+	if got := m.Protocol.QualityUpdates.Load(); got != before {
+		t.Fatalf("detached env still recorded quality updates")
+	}
+}
+
+// TestKindNamerWired checks SetMetrics installs the wire-kind names.
+func TestKindNamerWired(t *testing.T) {
+	params := DefaultParams(30 * sim.Minute)
+	w := newWorld(t, Epidemic, 2, params, nil)
+	m := obs.NewMetrics()
+	w.env.SetMetrics(m)
+	if m.Protocol.KindNamer == nil {
+		t.Fatal("KindNamer not set")
+	}
+	if got := m.Protocol.KindNamer(uint8(wire.KindProofOfRelay)); got != "POR" {
+		t.Fatalf("KindNamer(POR kind) = %q", got)
+	}
+}

@@ -3,6 +3,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"give2get/internal/obs"
 )
 
 // ErrPastEvent is returned by Schedule when an event is scheduled strictly
@@ -19,12 +22,18 @@ type Simulator struct {
 	running bool
 	stopped bool
 	horizon Time // 0 means no horizon
+	stats   *obs.SimStats
 }
 
 // New returns an empty simulator positioned at the virtual epoch.
 func New() *Simulator {
 	return &Simulator{}
 }
+
+// SetStats attaches a telemetry collector to the kernel. A nil collector
+// (the default) makes every recording a single pointer test; instrumentation
+// never influences event ordering or the clock.
+func (s *Simulator) SetStats(st *obs.SimStats) { s.stats = st }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
@@ -42,6 +51,7 @@ func (s *Simulator) Schedule(at Time, fn func(s *Simulator)) (*Event, error) {
 	e := &Event{At: at, Run: fn, seq: s.nextSeq}
 	s.nextSeq++
 	s.queue.push(e)
+	s.stats.NoteScheduled(s.queue.Len())
 	return e, nil
 }
 
@@ -57,6 +67,7 @@ func (s *Simulator) Cancel(e *Event) bool {
 		return false
 	}
 	s.queue.remove(e.pos)
+	s.stats.NoteCancelled()
 	return true
 }
 
@@ -86,6 +97,7 @@ func (s *Simulator) Run() (Time, error) {
 			break
 		}
 		s.now = e.At
+		s.stats.NoteFired(time.Duration(e.At))
 		e.Run(s)
 	}
 	return s.now, nil

@@ -1,0 +1,63 @@
+package wire
+
+import "give2get/internal/g2gcrypto"
+
+// Encoded sizes of the fixed-width primitives, derived from the append
+// helpers in wire.go.
+const (
+	digestLen  = len(g2gcrypto.Digest{})
+	keyLen     = len(g2gcrypto.SessionKey{})
+	nodeLen    = 4
+	int64Len   = 8
+	qualityLen = int64Len
+	lenPrefix  = 4
+	// envelopeOverhead is Signed.Marshal's framing: kind byte, signer,
+	// timestamp, body length prefix, signature length prefix.
+	envelopeOverhead = 1 + nodeLen + int64Len + lenPrefix + lenPrefix
+)
+
+// SizeOf returns the exact length of s.Marshal() without allocating: the
+// telemetry layer calls it on every signed message to account wire bytes, so
+// it must stay off the allocator. It recurses into nested envelopes
+// (POR_RESP, RELAY attachments, PoM evidence).
+func SizeOf(s Signed) int {
+	return envelopeOverhead + BodySize(s.Body) + len(s.Sig)
+}
+
+// BodySize returns the exact length of b.MarshalBody(nil) without calling
+// it. Unknown body types report 0 (there are none in this repository; the
+// property test asserts exhaustiveness against Marshal).
+func BodySize(b Body) int {
+	switch v := b.(type) {
+	case RelayRequest, RelayOK, RelayDecline:
+		return digestLen
+	case RelayTransfer:
+		n := digestLen + qualityLen + int64Len + lenPrefix + len(v.Encrypted) + 1
+		for _, a := range v.Attachments {
+			n += lenPrefix + SizeOf(a)
+		}
+		return n
+	case ProofOfRelay:
+		return digestLen + 3*nodeLen + 2*qualityLen + int64Len
+	case KeyReveal:
+		return digestLen + keyLen
+	case PORChallenge:
+		return digestLen + len(v.Seed)
+	case PORResponse:
+		return lenPrefix + SizeOf(v.First) + lenPrefix + SizeOf(v.Second)
+	case StoredResponse:
+		return digestLen + len(v.Seed) + digestLen
+	case FQRequest:
+		return digestLen + nodeLen
+	case FQResponse:
+		return 2*nodeLen + qualityLen + int64Len
+	case Misbehavior:
+		n := nodeLen + 1 + 1
+		for _, e := range v.Evidence {
+			n += lenPrefix + SizeOf(e)
+		}
+		return n
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"testing"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+)
+
+// TestSizeOfMatchesMarshal is the exhaustiveness property: for every body
+// kind, SizeOf must equal len(Marshal()), including nested envelopes.
+func TestSizeOfMatchesMarshal(t *testing.T) {
+	var hash, mac g2gcrypto.Digest
+	for i := range hash {
+		hash[i] = byte(i)
+		mac[i] = byte(255 - i)
+	}
+	var seed [16]byte
+	var key g2gcrypto.SessionKey
+	sig := g2gcrypto.Signature{1, 2, 3, 4, 5}
+
+	wrap := func(b Body) Signed {
+		return Signed{Signer: 7, At: 1234, Body: b, Sig: sig}
+	}
+	por1 := wrap(ProofOfRelay{Hash: hash, From: 1, To: 2, DPrime: 3, FM: 10, FBD: 20, Frame: 4})
+	por2 := wrap(ProofOfRelay{Hash: hash, From: 2, To: 3, DPrime: 3, FM: 20, FBD: 30, Frame: 4})
+	fq := wrap(FQResponse{Responder: 2, DPrime: 3, FQ: 42, Frame: 4})
+
+	bodies := []Body{
+		RelayRequest{Hash: hash},
+		RelayOK{Hash: hash},
+		RelayDecline{Hash: hash},
+		RelayTransfer{Hash: hash, FM: 5, GenAt: 99, Encrypted: []byte("ciphertext")},
+		RelayTransfer{Hash: hash, Encrypted: nil, Attachments: []Signed{fq, por1}},
+		ProofOfRelay{Hash: hash, From: 1, To: 2, DPrime: 3, FM: 10, FBD: 20, Frame: 4},
+		KeyReveal{Hash: hash, Key: key},
+		PORChallenge{Hash: hash, Seed: seed},
+		PORResponse{First: por1, Second: por2},
+		StoredResponse{Hash: hash, Seed: seed, MAC: mac},
+		FQRequest{Hash: hash, DPrime: 9},
+		FQResponse{Responder: 2, DPrime: 3, FQ: message.Quality(7), Frame: 11},
+		Misbehavior{Accused: 2, Reason: ReasonDropped, Evidence: []Signed{por1}},
+		Misbehavior{Accused: 2, Reason: ReasonCheated, Evidence: []Signed{por1, por2}},
+		Misbehavior{Accused: 2, Reason: ReasonLied, Evidence: nil},
+	}
+	for _, b := range bodies {
+		s := wrap(b)
+		got, want := SizeOf(s), len(s.Marshal())
+		if got != want {
+			t.Errorf("%s: SizeOf = %d, len(Marshal) = %d", b.Kind(), got, want)
+		}
+		if bs := BodySize(b); bs != len(b.MarshalBody(nil)) {
+			t.Errorf("%s: BodySize = %d, len(MarshalBody) = %d", b.Kind(), bs, len(b.MarshalBody(nil)))
+		}
+	}
+}
+
+func TestSizeOfAllocationFree(t *testing.T) {
+	var hash g2gcrypto.Digest
+	s := Signed{Signer: 1, At: 2, Body: RelayTransfer{Hash: hash, Encrypted: make([]byte, 64)}, Sig: make(g2gcrypto.Signature, 32)}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if SizeOf(s) == 0 {
+			t.Fatal("size 0")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SizeOf allocates %v per op, want 0", allocs)
+	}
+}
