@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet race bench check ci
 
 all: check
 
@@ -13,10 +13,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The observability and metrics packages are the concurrency-sensitive ones
-# (atomic counters, sinks shared across goroutines, the progress reporter).
+# The concurrency-sensitive packages: atomic counters and sinks shared across
+# goroutines (obs, metrics), the engine run under the runner's worker pool,
+# and the runner and experiments schedulers themselves.
 race:
-	$(GO) test -race ./internal/obs ./internal/metrics ./internal/engine
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/metrics ./internal/engine ./internal/runner ./internal/experiments
 
 # One iteration per benchmark: smoke-checks the paper-artifact benches and
 # BenchmarkTelemetryOverhead without the full measurement cost.
@@ -24,3 +25,10 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 check: build vet test race
+
+# ci is the documented verification entry point: build, vet, the full test
+# suite, the race pass, and a quick-mode experiment smoke run through the
+# parallel scheduler.
+ci: build vet test race
+	$(GO) run ./cmd/g2gexp -experiment secV -quick -jobs 0 >/dev/null
+	@echo "ci: OK"

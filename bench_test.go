@@ -11,6 +11,7 @@ package give2get
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -151,6 +152,46 @@ func BenchmarkSimulationRun(b *testing.B) {
 		}
 	}
 }
+
+// benchSweep runs one 8-repeat sweep per iteration at the given job count:
+// the scheduler's speedup benchmark. Compare BenchmarkSweepJobs1 against
+// BenchmarkSweepJobsNumCPU — on a multi-core machine the latter should be
+// well over 1.5x faster; on one core they are the same workload, which
+// doubles as a scheduler-overhead check.
+func benchSweep(b *testing.B, jobs int) {
+	tr, err := GenerateTrace(PresetInfocom05, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SweepConfig{
+		SimulationConfig: SimulationConfig{
+			Trace:           tr,
+			Protocol:        G2GEpidemic,
+			TTL:             30 * time.Minute,
+			Seed:            1,
+			MessageInterval: 20 * time.Second,
+		},
+		Repeats: 8,
+		Jobs:    jobs,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep, err := RunSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(sweep.SuccessRate, "delivery%")
+			b.ReportMetric(float64(jobs), "jobs")
+		}
+	}
+}
+
+// BenchmarkSweepJobs1 runs the sweep sequentially.
+func BenchmarkSweepJobs1(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepJobsNumCPU runs the same sweep with one worker per CPU.
+func BenchmarkSweepJobsNumCPU(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
 
 // BenchmarkHeavyHMAC measures the storage-proof cost at the default
 // iteration count (the deterrent of the test phase).

@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		quick      = fs.Bool("quick", false, "reduced workload (faster, coarser sweeps)")
 		seed       = fs.Int64("seed", 1, "seed for workload and deviant selection")
 		repeats    = fs.Int("repeats", 1, "average each measurement over this many seeds")
+		jobs       = fs.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
 		format     = fs.String("format", "text", "output format: text or csv")
 		verbose    = fs.Bool("v", false, "log every completed run")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
@@ -58,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats, Jobs: *jobs}
 	if *verbose {
 		opts.Progress = stderr
 	}

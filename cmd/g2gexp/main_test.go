@@ -52,6 +52,22 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 	}
 }
 
+// TestRunJobsByteIdentical checks the CLI contract stated on the -jobs flag:
+// the same invocation at different job counts prints the same bytes.
+func TestRunJobsByteIdentical(t *testing.T) {
+	render := func(jobs string) string {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-experiment", "secV", "-quick", "-jobs", jobs}, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq := render("1")
+	if par := render("4"); par != seq {
+		t.Errorf("output differs between -jobs 1 and -jobs 4:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-experiment", "bogus"}, &out, &errOut); err == nil {

@@ -43,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		deviation = fs.String("deviation", "dropper", "deviation strategy (dropper|liar|cheater)")
 		outsiders = fs.Bool("outsiders", false, "deviants spare their own community")
 		realCrypt = fs.Bool("realcrypto", false, "use Ed25519/X25519/AES-GCM instead of the fast provider")
+		repeats   = fs.Int("repeats", 1, "average the run over this many derived seeds (seed, seed+1, ...)")
+		jobs      = fs.Int("jobs", 0, "concurrent runs when -repeats > 1 (0 = GOMAXPROCS)")
 		events    = fs.String("events", "", "write a JSON-lines event log of the run to this file (legacy format)")
 		telemetry = fs.String("telemetry", "", "write the JSON run report (counters, phase timings) to this file")
 		tracelog  = fs.String("tracelog", "", "write a leveled JSON-lines trace of the run to this file")
@@ -106,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return err
 		}
 		defer f.Close()
-		cfg.EventLog = f
+		cfg.Sink = give2get.NewLegacyEventSink(f)
 	}
 	if *tracelog != "" {
 		f, err := os.Create(*tracelog)
@@ -119,6 +121,26 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *progress > 0 {
 		cfg.Progress = stderr
 		cfg.ProgressInterval = *progress
+	}
+
+	if *repeats > 1 {
+		sweep, err := give2get.RunSweep(give2get.SweepConfig{
+			SimulationConfig: cfg, Repeats: *repeats, Jobs: *jobs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace:       %s (%d nodes, %d contacts)\n", tr.Name(), tr.Nodes(), tr.Contacts())
+		fmt.Fprintf(stdout, "protocol:    %s  ttl=%v  seeds=%d..%d\n", *proto, *ttl, *seed, *seed+int64(*repeats)-1)
+		fmt.Fprintf(stdout, "success:     %.1f%% mean over %d repeats\n", sweep.SuccessRate, *repeats)
+		fmt.Fprintf(stdout, "delay:       %v mean\n", sweep.MeanDelay.Round(time.Second))
+		fmt.Fprintf(stdout, "cost:        %.2f replicas/msg total, %.2f at delivery\n",
+			sweep.Cost, sweep.CostToDelivery)
+		if *deviants > 0 {
+			fmt.Fprintf(stdout, "deviants:    %d %ss (outsiders=%v)\n", len(cfg.Deviants), *deviation, *outsiders)
+			fmt.Fprintf(stdout, "detection:   %.1f%% exposed mean\n", sweep.DetectionRate)
+		}
+		return nil
 	}
 
 	res, err := give2get.Run(cfg)

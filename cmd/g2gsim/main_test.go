@@ -46,6 +46,30 @@ func TestRunWithDeviants(t *testing.T) {
 	}
 }
 
+// TestRunSweepRepeats exercises the -repeats/-jobs path and checks the sweep
+// report is identical at different job counts.
+func TestRunSweepRepeats(t *testing.T) {
+	sweep := func(jobs string) string {
+		var out, errOut bytes.Buffer
+		err := run([]string{
+			"-preset", "infocom05", "-protocol", "g2g-epidemic",
+			"-ttl", "30m", "-interval", "2m",
+			"-repeats", "2", "-jobs", jobs,
+		}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq := sweep("1")
+	if !strings.Contains(seq, "mean over 2 repeats") || !strings.Contains(seq, "seeds=1..2") {
+		t.Errorf("sweep report:\n%s", seq)
+	}
+	if par := sweep("2"); par != seq {
+		t.Errorf("sweep output differs between -jobs 1 and -jobs 2:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string

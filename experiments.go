@@ -10,8 +10,13 @@ func experimentIDs() []string {
 	return experiments.IDs()
 }
 
-func runExperiment(id string, quick bool, seed int64) (string, error) {
-	tables, err := experiments.Run(id, experiments.Options{Quick: quick, Seed: seed})
+func runExperiment(id string, opts ExperimentOptions) (string, error) {
+	tables, err := experiments.Run(id, experiments.Options{
+		Quick:   opts.Quick,
+		Seed:    opts.Seed,
+		Repeats: opts.Repeats,
+		Jobs:    opts.Jobs,
+	})
 	if err != nil {
 		return "", err
 	}

@@ -9,6 +9,7 @@ import (
 	"give2get/internal/engine"
 	"give2get/internal/obs"
 	"give2get/internal/protocol"
+	"give2get/internal/runner"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 )
@@ -100,13 +101,17 @@ type SimulationConfig struct {
 	// (generate, replicate, deliver, test, detect) during the run.
 	//
 	// Deprecated: EventLog is kept for compatibility and still produces the
-	// original output byte for byte; new code should use TraceJSON, which
-	// additionally carries level and wall-clock fields.
+	// original output byte for byte; new code should use Sink (see
+	// NewLegacyEventSink for the same format) or TraceJSON.
 	EventLog io.Writer
 
 	// TraceJSON, when non-nil, receives one leveled JSON trace record per
 	// protocol event, including debug-level records and wall timestamps.
 	TraceJSON io.Writer
+	// Sink, when non-nil, receives the run's trace records directly; it
+	// composes with EventLog and TraceJSON. Implementations must be safe for
+	// concurrent use (RunSweep shares the sink across runs).
+	Sink TraceSink
 	// Progress, when non-nil, receives a one-line progress report every
 	// ProgressInterval of wall time while the run executes.
 	Progress io.Writer
@@ -154,17 +159,18 @@ type DetectionInfo struct {
 	At time.Duration
 }
 
-// Run executes a simulation.
-func Run(cfg SimulationConfig) (*Result, error) {
+// engineConfig resolves a SimulationConfig into the engine's configuration
+// with the given seed; Run and RunSweep share it.
+func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 	if cfg.Trace == nil || cfg.Trace.inner == nil {
-		return nil, errors.New("give2get: config needs a trace")
+		return engine.Config{}, errors.New("give2get: config needs a trace")
 	}
 	kind, err := protocol.ParseKind(string(cfg.Protocol))
 	if err != nil {
-		return nil, fmt.Errorf("give2get: %w", err)
+		return engine.Config{}, fmt.Errorf("give2get: %w", err)
 	}
 	if cfg.TTL <= 0 {
-		return nil, errors.New("give2get: TTL must be positive")
+		return engine.Config{}, errors.New("give2get: TTL must be positive")
 	}
 
 	deviation := protocol.Honest
@@ -177,7 +183,7 @@ func Run(cfg SimulationConfig) (*Result, error) {
 	case Cheaters:
 		deviation = protocol.Cheater
 	default:
-		return nil, fmt.Errorf("give2get: unknown deviation %q", cfg.Deviation)
+		return engine.Config{}, fmt.Errorf("give2get: unknown deviation %q", cfg.Deviation)
 	}
 
 	deviants := make([]trace.NodeID, len(cfg.Deviants))
@@ -189,7 +195,7 @@ func Run(cfg SimulationConfig) (*Result, error) {
 		Trace:         cfg.Trace.inner,
 		Protocol:      kind,
 		Params:        protocol.DefaultParams(sim.Time(cfg.TTL)),
-		Seed:          cfg.Seed,
+		Seed:          seed,
 		Deviants:      deviants,
 		Deviation:     deviation,
 		OnlyOutsiders: cfg.OnlyOutsiders,
@@ -197,9 +203,12 @@ func Run(cfg SimulationConfig) (*Result, error) {
 	if cfg.RealCrypto {
 		ecfg.Crypto = engine.CryptoReal
 	}
-	ecfg.EventLog = cfg.EventLog
+	ecfg.TraceSink = cfg.Sink
+	if cfg.EventLog != nil {
+		ecfg.TraceSink = obs.Multi(ecfg.TraceSink, engine.NewLegacyEventSink(cfg.EventLog))
+	}
 	if cfg.TraceJSON != nil {
-		ecfg.TraceSink = obs.NewJSONSink(cfg.TraceJSON, obs.LevelDebug)
+		ecfg.TraceSink = obs.Multi(ecfg.TraceSink, obs.NewJSONSink(cfg.TraceJSON, obs.LevelDebug))
 	}
 	ecfg.Progress = cfg.Progress
 	ecfg.ProgressEvery = cfg.ProgressInterval
@@ -213,11 +222,24 @@ func Run(cfg SimulationConfig) (*Result, error) {
 	if cfg.MessageInterval > 0 {
 		ecfg.MessageInterval = sim.Time(cfg.MessageInterval)
 	}
+	return ecfg, nil
+}
 
+// Run executes a simulation.
+func Run(cfg SimulationConfig) (*Result, error) {
+	ecfg, err := engineConfig(cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	res, err := engine.Run(ecfg)
 	if err != nil {
 		return nil, err
 	}
+	return publicResult(res), nil
+}
+
+// publicResult converts an engine result into the public shape.
+func publicResult(res *engine.Result) *Result {
 	detections := make([]DetectionInfo, 0, len(res.Collector.Detections()))
 	for _, d := range res.Collector.Detections() {
 		detections = append(detections, DetectionInfo{
@@ -239,7 +261,74 @@ func Run(cfg SimulationConfig) (*Result, error) {
 		MeanDetectionTime: res.Detection.MeanTimeAfterTTL.Duration(),
 		FalseAccusations:  res.Detection.FalseAccusations,
 	}
-	return out, nil
+	return out
+}
+
+// SweepConfig describes a batch of repeats of one simulation, executed
+// concurrently on a worker pool.
+type SweepConfig struct {
+	SimulationConfig
+	// Repeats is how many runs to average, at seeds derived from Seed
+	// (Seed, Seed+1, ...). Values below 1 mean one run.
+	Repeats int
+	// Jobs is how many runs the scheduler keeps in flight; values below 1
+	// mean GOMAXPROCS. The results are identical for every value.
+	Jobs int
+}
+
+// SweepResult aggregates a sweep: the per-repeat results in seed order plus
+// the headline metrics averaged across them.
+type SweepResult struct {
+	// Runs holds each repeat's full result, indexed by repeat number.
+	Runs []*Result
+	// SuccessRate, MeanDelay, Cost, CostToDelivery, and DetectionRate are
+	// the repeats' means.
+	SuccessRate    float64
+	MeanDelay      time.Duration
+	Cost           float64
+	CostToDelivery float64
+	DetectionRate  float64
+}
+
+// RunSweep executes cfg.Repeats runs with derived seeds across cfg.Jobs
+// workers and averages the headline metrics. The aggregate is deterministic:
+// results are collected and reduced in repeat order, so the same base seed
+// yields the same SweepResult at any job count.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	specs := make([]runner.Spec, repeats)
+	for r := 0; r < repeats; r++ {
+		ecfg, err := engineConfig(cfg.SimulationConfig, runner.DeriveSeed(cfg.Seed, r))
+		if err != nil {
+			return nil, err
+		}
+		specs[r] = runner.Spec{Label: fmt.Sprintf("repeat-%d", r), Config: ecfg}
+	}
+	outcomes, err := runner.Run(specs, runner.Options{Jobs: cfg.Jobs})
+	if err != nil {
+		return nil, err
+	}
+	sweep := &SweepResult{Runs: make([]*Result, repeats)}
+	var delay time.Duration
+	for r, o := range outcomes {
+		res := publicResult(o.Result)
+		sweep.Runs[r] = res
+		sweep.SuccessRate += res.SuccessRate
+		delay += res.MeanDelay
+		sweep.Cost += res.Cost
+		sweep.CostToDelivery += res.CostToDelivery
+		sweep.DetectionRate += res.DetectionRate
+	}
+	n := float64(repeats)
+	sweep.SuccessRate /= n
+	sweep.MeanDelay = delay / time.Duration(repeats)
+	sweep.Cost /= n
+	sweep.CostToDelivery /= n
+	sweep.DetectionRate /= n
+	return sweep, nil
 }
 
 // Experiments returns the ids of the paper-reproduction experiments usable
@@ -248,8 +337,28 @@ func Experiments() []string {
 	return experimentIDs()
 }
 
+// ExperimentOptions tune RunExperimentWith.
+type ExperimentOptions struct {
+	// Quick trades workload volume for speed.
+	Quick bool
+	// Seed randomizes deviant selection and the workload.
+	Seed int64
+	// Repeats averages every measurement over this many derived seeds; zero
+	// means one run.
+	Repeats int
+	// Jobs is how many simulations run concurrently; zero means GOMAXPROCS.
+	// The rendered output is byte-identical for every value.
+	Jobs int
+}
+
 // RunExperiment regenerates one of the paper's tables or figures and returns
 // it rendered as text. Set quick for a reduced workload.
 func RunExperiment(id string, quick bool, seed int64) (string, error) {
-	return runExperiment(id, quick, seed)
+	return RunExperimentWith(id, ExperimentOptions{Quick: quick, Seed: seed})
+}
+
+// RunExperimentWith is RunExperiment with the full option set, including
+// repeat averaging and parallel execution.
+func RunExperimentWith(id string, opts ExperimentOptions) (string, error) {
+	return runExperiment(id, opts)
 }

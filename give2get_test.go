@@ -111,6 +111,65 @@ func TestRunEpidemic(t *testing.T) {
 	}
 }
 
+// TestRunSweepDeterministicAcrossJobs checks the public sweep API: the
+// aggregate and every per-repeat result must be identical at any job count,
+// and repeat r must equal a solo Run at the derived seed.
+func TestRunSweepDeterministicAcrossJobs(t *testing.T) {
+	cfg := quickConfig(t, G2GEpidemic)
+	cfg.Deviants = []int{2, 7}
+	cfg.Deviation = Droppers
+	seq, err := RunSweep(SweepConfig{SimulationConfig: cfg, Repeats: 3, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSweep(SweepConfig{SimulationConfig: cfg, Repeats: 3, Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Runs) != 3 || len(par.Runs) != 3 {
+		t.Fatalf("runs = %d / %d", len(seq.Runs), len(par.Runs))
+	}
+	if seq.SuccessRate != par.SuccessRate || seq.Cost != par.Cost ||
+		seq.MeanDelay != par.MeanDelay || seq.DetectionRate != par.DetectionRate {
+		t.Errorf("aggregates differ across job counts:\njobs=1: %+v\njobs=3: %+v", seq, par)
+	}
+	for r := range seq.Runs {
+		if seq.Runs[r].SuccessRate != par.Runs[r].SuccessRate {
+			t.Errorf("repeat %d differs across job counts", r)
+		}
+	}
+	solo := cfg
+	solo.Seed = cfg.Seed + 1
+	ref, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Runs[1].SuccessRate != ref.SuccessRate || seq.Runs[1].Generated != ref.Generated {
+		t.Errorf("sweep repeat 1 != solo run at seed+1: %+v vs %+v", seq.Runs[1], ref)
+	}
+}
+
+// TestSinkMatchesDeprecatedEventLog pins the migration path: a
+// NewLegacyEventSink on the new Sink field writes the same bytes the
+// deprecated EventLog field produces.
+func TestSinkMatchesDeprecatedEventLog(t *testing.T) {
+	cfg := quickConfig(t, G2GEpidemic)
+	cfg.Deviants = []int{2, 7}
+	cfg.Deviation = Droppers
+	var viaSink, viaEventLog strings.Builder
+	cfg.Sink = NewLegacyEventSink(&viaSink)
+	cfg.EventLog = &viaEventLog
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if viaSink.Len() == 0 {
+		t.Fatal("sink saw no events")
+	}
+	if viaSink.String() != viaEventLog.String() {
+		t.Error("Sink output differs from deprecated EventLog output")
+	}
+}
+
 func TestRunAllProtocols(t *testing.T) {
 	for _, p := range Protocols() {
 		p := p

@@ -225,7 +225,7 @@ func newEngine(cfg Config) (*engine, error) {
 
 	sink := cfg.TraceSink
 	if cfg.EventLog != nil {
-		sink = obs.Multi(sink, newLegacySink(cfg.EventLog))
+		sink = obs.Multi(sink, NewLegacyEventSink(cfg.EventLog))
 	}
 	collector := metrics.NewCollector()
 	observer := &runObserver{inner: collector, eng: &m.Engine, sink: sink}

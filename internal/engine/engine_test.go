@@ -340,14 +340,24 @@ func TestVanillaUsesNoSignatures(t *testing.T) {
 }
 
 func TestEventLogStreamsJSONLines(t *testing.T) {
-	var buf strings.Builder
+	// The modern path: a legacy-format sink on Config.TraceSink. The
+	// deprecated Config.EventLog writer runs alongside and must produce the
+	// same bytes — that equality is the external-caller compatibility pin.
+	var buf, deprecated strings.Builder
 	cfg := baseConfig(t, protocol.G2GEpidemic)
 	cfg.Deviants = []trace.NodeID{2, 7}
 	cfg.Deviation = protocol.Dropper
-	cfg.EventLog = &buf
+	cfg.TraceSink = NewLegacyEventSink(&buf)
+	cfg.EventLog = &deprecated
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if buf.String() != deprecated.String() {
+		t.Error("deprecated EventLog output differs from NewLegacyEventSink output")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no event output")
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) < res.Summary.Generated {

@@ -118,7 +118,10 @@ type legacySink struct {
 
 var _ obs.TraceSink = (*legacySink)(nil)
 
-func newLegacySink(w io.Writer) *legacySink {
+// NewLegacyEventSink returns a TraceSink writing the deprecated EventLog
+// JSON-lines format to w, byte for byte. It is how EventLog callers migrate
+// to Config.TraceSink without their downstream log consumers noticing.
+func NewLegacyEventSink(w io.Writer) obs.TraceSink {
 	return &legacySink{enc: json.NewEncoder(w)}
 }
 

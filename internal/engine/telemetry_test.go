@@ -20,7 +20,7 @@ import (
 // byte stream the original event logger wrote.
 func TestLegacyEventLogByteIdentical(t *testing.T) {
 	var buf strings.Builder
-	o := &runObserver{inner: protocol.NopObserver{}, eng: nil, sink: newLegacySink(&buf)}
+	o := &runObserver{inner: protocol.NopObserver{}, eng: nil, sink: NewLegacyEventSink(&buf)}
 
 	h := g2gcrypto.Hash([]byte("legacy"))
 	short := shortHash(h)

@@ -25,8 +25,9 @@ func AblationFanout(opts Options) ([]*metrics.Table, error) {
 		"Ablation: G2G Epidemic relay fan-out limit (Infocom05)",
 		"max relays", "cost (replicas/msg)", "success %", "dropper detection %")
 	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-fanout")
+	b := opts.newBatch()
 	for _, fanout := range []int{1, 2, 3, 4, 8} {
-		res, err := opts.run(runSpec{
+		honest, err := b.single(runSpec{
 			scenario:  scenario,
 			kind:      protocol.G2GEpidemic,
 			delta1:    scenario.EpidemicTTL,
@@ -35,7 +36,7 @@ func AblationFanout(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		det, err := opts.run(runSpec{
+		selfish, err := b.single(runSpec{
 			scenario:  scenario,
 			kind:      protocol.G2GEpidemic,
 			delta1:    scenario.EpidemicTTL,
@@ -46,9 +47,15 @@ func AblationFanout(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
-		opts.logf("abl-fanout %d cost=%.2f success=%.1f%% detect=%.1f%%",
-			fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
+		b.then(func() {
+			res, det := honest.result(), selfish.result()
+			tbl.AddRow(fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
+			opts.logf("abl-fanout %d cost=%.2f success=%.1f%% detect=%.1f%%",
+				fanout, res.Summary.MeanCost, res.Summary.SuccessRate, det.Detection.Rate)
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return []*metrics.Table{tbl}, nil
 }
@@ -65,8 +72,9 @@ func AblationDelta2(opts Options) ([]*metrics.Table, error) {
 		"Ablation: Δ2/Δ1 ratio vs dropper detection (G2G Epidemic, Infocom05)",
 		"Δ2/Δ1", "detection rate %", "avg detection time (min after Δ1)")
 	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-delta2")
+	b := opts.newBatch()
 	for _, factor := range []float64{1.25, 1.5, 2, 3, 4} {
-		res, err := opts.run(runSpec{
+		c, err := b.single(runSpec{
 			scenario:     scenario,
 			kind:         protocol.G2GEpidemic,
 			delta1:       scenario.EpidemicTTL,
@@ -77,9 +85,15 @@ func AblationDelta2(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(fmt.Sprintf("%.2f", factor), res.Detection.Rate,
-			minutes(res.Detection.MeanTimeAfterTTL))
-		opts.logf("abl-delta2 %.2f rate=%.1f%%", factor, res.Detection.Rate)
+		b.then(func() {
+			res := c.result()
+			tbl.AddRow(fmt.Sprintf("%.2f", factor), res.Detection.Rate,
+				minutes(res.Detection.MeanTimeAfterTTL))
+			opts.logf("abl-delta2 %.2f rate=%.1f%%", factor, res.Detection.Rate)
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return []*metrics.Table{tbl}, nil
 }
@@ -97,9 +111,10 @@ func AblationTimeframe(opts Options) ([]*metrics.Table, error) {
 		"Ablation: quality timeframe vs liar detection (G2G Delegation DLC, Infocom05)",
 		"frame (min)", "liar detection rate %")
 	deviants := opts.pickDeviants(tr.Nodes(), tr.Nodes()/4, "abl-frame")
+	b := opts.newBatch()
 	for _, frame := range []sim.Time{10 * sim.Minute, 20 * sim.Minute, 34 * sim.Minute,
 		60 * sim.Minute, 90 * sim.Minute} {
-		res, err := opts.run(runSpec{
+		c, err := b.single(runSpec{
 			scenario:     scenario,
 			kind:         protocol.G2GDelegationLastContact,
 			delta1:       scenario.DelegationTTL,
@@ -110,23 +125,30 @@ func AblationTimeframe(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(int(sim.SecondsOf(frame)/60), res.Detection.Rate)
-		opts.logf("abl-frame %v rate=%.1f%%", frame, res.Detection.Rate)
+		b.then(func() {
+			res := c.result()
+			tbl.AddRow(int(sim.SecondsOf(frame)/60), res.Detection.Rate)
+			opts.logf("abl-frame %v rate=%.1f%%", frame, res.Detection.Rate)
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return []*metrics.Table{tbl}, nil
 }
 
 // AblationCrypto compares the Real and Fast crypto providers end to end and
 // reports the heavy-HMAC cost curve, quantifying the simulation substitution
-// documented in DESIGN.md.
+// documented in DESIGN.md. Its wall-time column is the one experiment output
+// that is inherently not byte-stable across schedules.
 func AblationCrypto(opts Options) ([]*metrics.Table, error) {
 	scenario := Infocom()
 	tbl := metrics.NewTable(
 		"Ablation: crypto provider (G2G Epidemic, Infocom05)",
 		"provider", "wall time (s)", "success %", "cost (replicas/msg)")
+	b := opts.newBatch()
 	for _, provider := range []engine.CryptoProvider{engine.CryptoFast, engine.CryptoReal} {
-		started := time.Now()
-		res, err := opts.run(runSpec{
+		c, err := b.single(runSpec{
 			scenario: scenario,
 			kind:     protocol.G2GEpidemic,
 			delta1:   scenario.EpidemicTTL,
@@ -135,10 +157,15 @@ func AblationCrypto(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(started).Seconds()
-		tbl.AddRow(string(provider), fmt.Sprintf("%.2f", elapsed),
-			res.Summary.SuccessRate, res.Summary.MeanCost)
-		opts.logf("abl-crypto %s %.2fs", provider, elapsed)
+		b.then(func() {
+			res, elapsed := c.result(), c.wall().Seconds()
+			tbl.AddRow(string(provider), fmt.Sprintf("%.2f", elapsed),
+				res.Summary.SuccessRate, res.Summary.MeanCost)
+			opts.logf("abl-crypto %s %.2fs", provider, elapsed)
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 
 	mac := metrics.NewTable(

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"give2get/internal/engine"
 	"give2get/internal/kclique"
 	"give2get/internal/obs"
 	"give2get/internal/protocol"
+	"give2get/internal/runner"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 )
@@ -25,8 +27,11 @@ type Options struct {
 	// Seed randomizes deviant selection and the workload.
 	Seed int64
 	// Repeats averages every measurement over this many independent seeds
-	// (seed, seed+1, ...). Zero means one run.
+	// (seed, seed+1, ...; see runner.DeriveSeed). Zero means one run.
 	Repeats int
+	// Jobs is how many simulations the scheduler keeps in flight; zero
+	// means GOMAXPROCS. Results are byte-identical for every value.
+	Jobs int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 	// Telemetry, when non-nil, aggregates every run of the experiment into
@@ -103,50 +108,13 @@ type runStats struct {
 	FalseAccusations int
 }
 
-// measure runs the spec Repeats times with consecutive seeds and averages
-// the table metrics.
-func (o Options) measure(spec runSpec) (runStats, error) {
-	repeats := o.Repeats
-	if repeats < 1 {
-		repeats = 1
-	}
-	var out runStats
-	detRuns := 0
-	for r := 0; r < repeats; r++ {
-		opts := o
-		opts.Seed = o.Seed + int64(r)
-		res, err := opts.run(spec)
-		if err != nil {
-			return runStats{}, err
-		}
-		out.Success += res.Summary.SuccessRate
-		out.Cost += res.Summary.MeanCost
-		out.CostToDelivery += res.Summary.MeanCostToDelivery
-		out.DelayMinutes += sim.SecondsOf(res.Summary.MeanDelay) / 60
-		out.DetectionRate += res.Detection.Rate
-		out.FalseAccusations += res.Detection.FalseAccusations
-		if res.Detection.Detected > 0 {
-			out.DetectionMinutes += sim.SecondsOf(res.Detection.MeanTimeAfterTTL) / 60
-			detRuns++
-		}
-	}
-	n := float64(repeats)
-	out.Success /= n
-	out.Cost /= n
-	out.CostToDelivery /= n
-	out.DelayMinutes /= n
-	out.DetectionRate /= n
-	if detRuns > 0 {
-		out.DetectionMinutes /= float64(detRuns)
-	}
-	return out, nil
-}
-
-// run executes one simulation described by the spec.
-func (o Options) run(spec runSpec) (*engine.Result, error) {
+// config resolves the spec into a self-contained engine configuration for
+// one derived seed. It runs nothing: all trace generation and community
+// detection happen here, sequentially, before the scheduler fans out.
+func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
 	tr, err := spec.scenario.Trace()
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
 	params := protocol.DefaultParams(spec.delta1)
 	params.HeavyHMACIterations = heavyIterations
@@ -164,7 +132,7 @@ func (o Options) run(spec runSpec) (*engine.Result, error) {
 		Trace:         tr,
 		Protocol:      spec.kind,
 		Params:        params,
-		Seed:          o.Seed,
+		Seed:          seed,
 		Crypto:        spec.crypto,
 		Deviants:      spec.deviants,
 		Deviation:     spec.deviation,
@@ -174,14 +142,154 @@ func (o Options) run(spec runSpec) (*engine.Result, error) {
 	if spec.onlyOutsiders {
 		comms, err := scenarioCommunities(spec.scenario)
 		if err != nil {
-			return nil, err
+			return engine.Config{}, err
 		}
 		cfg.Communities = comms
 	}
 	from, _ := spec.scenario.Window()
 	engine.DefaultWorkload(&cfg, from)
 	cfg.MessageInterval = o.interval()
-	return engine.Run(cfg)
+	return cfg, nil
+}
+
+// batch collects an experiment's measurements so one scheduler pass can run
+// every simulation concurrently. Usage is two-phase: the driver registers
+// cells (measure/single) and deferred row assembly (then) while walking its
+// sweep, calls run once, and reads the cells afterwards. Deferred callbacks
+// fire in registration order, so tables and progress logs stay byte-identical
+// to the old sequential loops no matter how the runs interleaved.
+type batch struct {
+	opts     Options
+	specs    []runner.Spec
+	outcomes []runner.Outcome
+	finish   []func()
+}
+
+// cell is one measurement of a batch: a runSpec expanded into one run per
+// repeat seed, collected by index after the batch executes.
+type cell struct {
+	b            *batch
+	first, count int // index range into the batch's specs
+}
+
+func (o Options) newBatch() *batch { return &batch{opts: o} }
+
+// measure registers the spec to run once per repeat seed; its stats average
+// the repeats exactly like the old sequential loop.
+func (b *batch) measure(spec runSpec) (*cell, error) {
+	repeats := b.opts.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	return b.add(spec, repeats)
+}
+
+// single registers exactly one run at the base seed (no repeat averaging):
+// the ablation and payoff drivers inspect its full engine result.
+func (b *batch) single(spec runSpec) (*cell, error) {
+	return b.add(spec, 1)
+}
+
+func (b *batch) add(spec runSpec, repeats int) (*cell, error) {
+	c := &cell{b: b, first: len(b.specs), count: repeats}
+	for r := 0; r < repeats; r++ {
+		cfg, err := b.opts.config(spec, runner.DeriveSeed(b.opts.Seed, r))
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%s/%s", spec.scenario.Name, spec.kind)
+		if repeats > 1 {
+			label = fmt.Sprintf("%s/r%d", label, r)
+		}
+		b.specs = append(b.specs, runner.Spec{Label: label, Config: cfg})
+	}
+	return c, nil
+}
+
+// then defers work until after run; callbacks fire in registration order.
+func (b *batch) then(f func()) { b.finish = append(b.finish, f) }
+
+// run executes every registered spec through the scheduler, then fires the
+// deferred callbacks in order.
+func (b *batch) run() error {
+	outs, err := runner.Run(b.specs, runner.Options{
+		Jobs:      b.opts.Jobs,
+		Telemetry: b.opts.Telemetry,
+		Progress:  b.opts.Progress,
+	})
+	if err != nil {
+		return err
+	}
+	b.outcomes = outs
+	for _, f := range b.finish {
+		f()
+	}
+	return nil
+}
+
+// result returns the cell's first-repeat engine result. Valid after run.
+func (c *cell) result() *engine.Result { return c.b.outcomes[c.first].Result }
+
+// wall returns the first-repeat wall-clock duration. Valid after run.
+func (c *cell) wall() time.Duration { return c.b.outcomes[c.first].Wall }
+
+// stats averages the cell's repeats into the table metrics, iterating the
+// outcomes in index order so the floating-point reduction matches the old
+// sequential loop bit for bit. Valid after run.
+func (c *cell) stats() runStats {
+	var out runStats
+	detRuns := 0
+	for r := 0; r < c.count; r++ {
+		res := c.b.outcomes[c.first+r].Result
+		out.Success += res.Summary.SuccessRate
+		out.Cost += res.Summary.MeanCost
+		out.CostToDelivery += res.Summary.MeanCostToDelivery
+		out.DelayMinutes += sim.SecondsOf(res.Summary.MeanDelay) / 60
+		out.DetectionRate += res.Detection.Rate
+		out.FalseAccusations += res.Detection.FalseAccusations
+		if res.Detection.Detected > 0 {
+			out.DetectionMinutes += sim.SecondsOf(res.Detection.MeanTimeAfterTTL) / 60
+			detRuns++
+		}
+	}
+	n := float64(c.count)
+	out.Success /= n
+	out.Cost /= n
+	out.CostToDelivery /= n
+	out.DelayMinutes /= n
+	out.DetectionRate /= n
+	if detRuns > 0 {
+		out.DetectionMinutes /= float64(detRuns)
+	}
+	return out
+}
+
+// measure runs the spec Repeats times with derived seeds and averages the
+// table metrics. It is the one-off form of batch.measure (tests use it); the
+// experiment drivers batch their whole sweep instead.
+func (o Options) measure(spec runSpec) (runStats, error) {
+	b := o.newBatch()
+	c, err := b.measure(spec)
+	if err != nil {
+		return runStats{}, err
+	}
+	if err := b.run(); err != nil {
+		return runStats{}, err
+	}
+	return c.stats(), nil
+}
+
+// run executes one simulation described by the spec at the base seed.
+func (o Options) run(spec runSpec) (*engine.Result, error) {
+	b := o.newBatch()
+	c, err := b.single(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return c.result(), nil
 }
 
 // pickDeviants selects n deviating nodes deterministically from the seed.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestAllExperimentsTiny(t *testing.T) {
 		t.Skip("tiny experiment sweep skipped in -short mode")
 	}
 	opts := Options{Tiny: true, Quick: true, Seed: 1}
-	for _, id := range IDs() {
+	for _, id := range sweepIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			tables, err := Run(id, opts)
@@ -172,6 +173,98 @@ func TestAllExperimentsTiny(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// sweepIDs is the experiment id set the full-registry tests cover: everything
+// normally, a representative subset under the race detector (raceEnabled).
+func sweepIDs() []string {
+	if raceEnabled {
+		return []string{"secV", "fig8", "abl-crypto"}
+	}
+	return IDs()
+}
+
+// renderAll renders an experiment's tables into one string.
+func renderAll(t *testing.T, id string, opts Options) string {
+	t.Helper()
+	tables, err := Run(id, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tbl := range tables {
+		if err := tbl.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// tableShape summarizes an experiment's tables as titles and row counts. The
+// abl-crypto tables contain wall-clock columns, so only this shape — not the
+// rendered bytes — can be stable across schedules.
+func tableShape(t *testing.T, id string, opts Options) string {
+	t.Helper()
+	tables, err := Run(id, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tbl := range tables {
+		fmt.Fprintf(&b, "%s: %d rows\n", tbl.Title, tbl.Rows())
+	}
+	return b.String()
+}
+
+// TestExperimentsByteIdenticalAcrossJobs is the tentpole acceptance check:
+// for every experiment id, the rendered output at -jobs 1 and -jobs 4 must
+// match byte for byte (abl-crypto's wall-time columns excepted: there the
+// table titles and row counts must match).
+func TestExperimentsByteIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-jobs sweep skipped in -short mode")
+	}
+	for _, id := range sweepIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			seq := Options{Tiny: true, Quick: true, Seed: 1, Repeats: 2, Jobs: 1}
+			par := Options{Tiny: true, Quick: true, Seed: 1, Repeats: 2, Jobs: 4}
+			if id == "abl-crypto" {
+				if a, b := tableShape(t, id, seq), tableShape(t, id, par); a != b {
+					t.Errorf("table shape differs between jobs=1 and jobs=4:\n%s\nvs\n%s", a, b)
+				}
+				return
+			}
+			if a, b := renderAll(t, id, seq), renderAll(t, id, par); a != b {
+				t.Errorf("output differs between jobs=1 and jobs=4:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestProgressLogDeterministicAcrossJobs pins the -v log stream: deferred
+// callbacks fire in registration order, so the experiment's own log lines
+// (not the runner's completion lines) are identical at any job count.
+func TestProgressLogDeterministicAcrossJobs(t *testing.T) {
+	logOf := func(jobs int) string {
+		var buf strings.Builder
+		opts := Options{Tiny: true, Quick: true, Seed: 1, Jobs: jobs, Progress: &buf}
+		if _, err := Run("secV", opts); err != nil {
+			t.Fatal(err)
+		}
+		var kept []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "run ") { // runner completion lines are schedule-dependent
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if seq, par := logOf(1), logOf(3); seq != par {
+		t.Errorf("experiment log differs between jobs=1 and jobs=3:\n%q\nvs\n%q", seq, par)
 	}
 }
 

@@ -7,10 +7,17 @@ import (
 	"give2get/internal/protocol"
 )
 
+// The figure drivers all follow the batch's deferred-row pattern: walking the
+// sweep registers every simulation up front, one scheduler pass runs them
+// (concurrently when Options.Jobs allows), and the deferred callbacks then
+// assemble rows and log lines in registration order — so the rendered tables
+// are byte-identical to the old one-run-at-a-time loops at any job count.
+
 // Fig3 reproduces Figure 3: the effect of message droppers on vanilla
 // Epidemic Forwarding — delivery rate versus the number of droppers, for
 // plain selfishness and selfishness with outsiders, on both traces.
 func Fig3(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
@@ -22,9 +29,9 @@ func Fig3(opts Options) ([]*metrics.Table, error) {
 		}
 		for _, n := range opts.sweep(tr.Nodes()) {
 			deviants := opts.pickDeviants(tr.Nodes(), n, "fig3")
-			row := []any{n}
-			for _, outsiders := range []bool{false, true} {
-				stats, err := opts.measure(runSpec{
+			var cells [2]*cell
+			for i, outsiders := range []bool{false, true} {
+				cells[i], err = b.measure(runSpec{
 					scenario:      scenario,
 					kind:          protocol.Epidemic,
 					delta1:        scenario.EpidemicTTL,
@@ -35,13 +42,22 @@ func Fig3(opts Options) ([]*metrics.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, stats.Success)
-				opts.logf("fig3 %s droppers=%d outsiders=%v delivery=%.1f%%",
-					scenario.Name, n, outsiders, stats.Success)
 			}
-			tbl.AddRow(row...)
+			b.then(func() {
+				row := []any{n}
+				for i, outsiders := range []bool{false, true} {
+					stats := cells[i].stats()
+					row = append(row, stats.Success)
+					opts.logf("fig3 %s droppers=%d outsiders=%v delivery=%.1f%%",
+						scenario.Name, n, outsiders, stats.Success)
+				}
+				tbl.AddRow(row...)
+			})
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -49,6 +65,7 @@ func Fig3(opts Options) ([]*metrics.Table, error) {
 // Fig4 reproduces Figure 4: G2G Epidemic's average dropper detection time
 // (after the message TTL Δ1 expires) versus the number of droppers.
 func Fig4(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
@@ -63,9 +80,9 @@ func Fig4(opts Options) ([]*metrics.Table, error) {
 				continue // no droppers, nothing to detect
 			}
 			deviants := opts.pickDeviants(tr.Nodes(), n, "fig4")
-			row := []any{n}
-			for _, outsiders := range []bool{false, true} {
-				stats, err := opts.measure(runSpec{
+			var cells [2]*cell
+			for i, outsiders := range []bool{false, true} {
+				cells[i], err = b.measure(runSpec{
 					scenario:      scenario,
 					kind:          protocol.G2GEpidemic,
 					delta1:        scenario.EpidemicTTL,
@@ -76,13 +93,22 @@ func Fig4(opts Options) ([]*metrics.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes), stats.DetectionRate)
-				opts.logf("fig4 %s droppers=%d outsiders=%v rate=%.1f%% time=%.1fm",
-					scenario.Name, n, outsiders, stats.DetectionRate, stats.DetectionMinutes)
 			}
-			tbl.AddRow(row...)
+			b.then(func() {
+				row := []any{n}
+				for i, outsiders := range []bool{false, true} {
+					stats := cells[i].stats()
+					row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes), stats.DetectionRate)
+					opts.logf("fig4 %s droppers=%d outsiders=%v rate=%.1f%% time=%.1fm",
+						scenario.Name, n, outsiders, stats.DetectionRate, stats.DetectionMinutes)
+				}
+				tbl.AddRow(row...)
+			})
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -91,6 +117,7 @@ func Fig4(opts Options) ([]*metrics.Table, error) {
 // Epidemic (the paper reports 94.7 % for plain selfishness and 91.3 % for
 // selfishness with outsiders) at a representative dropper count.
 func SecV(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	tbl := metrics.NewTable(
 		"Sec. V: G2G Epidemic dropper detection probability",
 		"trace", "flavor", "detection rate %", "avg time after Δ1 (min)")
@@ -102,7 +129,7 @@ func SecV(opts Options) ([]*metrics.Table, error) {
 		n := tr.Nodes() / 4
 		deviants := opts.pickDeviants(tr.Nodes(), n, "secv")
 		for _, outsiders := range []bool{false, true} {
-			stats, err := opts.measure(runSpec{
+			c, err := b.measure(runSpec{
 				scenario:      scenario,
 				kind:          protocol.G2GEpidemic,
 				delta1:        scenario.EpidemicTTL,
@@ -117,10 +144,16 @@ func SecV(opts Options) ([]*metrics.Table, error) {
 			if outsiders {
 				flavor = "selfish with outsiders"
 			}
-			tbl.AddRow(scenario.Name, flavor, stats.DetectionRate,
-				fmt.Sprintf("%.1f", stats.DetectionMinutes))
-			opts.logf("secV %s %s rate=%.1f%%", scenario.Name, flavor, stats.DetectionRate)
+			b.then(func() {
+				stats := c.stats()
+				tbl.AddRow(scenario.Name, flavor, stats.DetectionRate,
+					fmt.Sprintf("%.1f", stats.DetectionMinutes))
+				opts.logf("secV %s %s rate=%.1f%%", scenario.Name, flavor, stats.DetectionRate)
+			})
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return []*metrics.Table{tbl}, nil
 }
@@ -129,6 +162,7 @@ func SecV(opts Options) ([]*metrics.Table, error) {
 // Delegation Forwarding (Destination Last Contact), on both traces, for
 // both selfishness flavors.
 func Fig5(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar} {
@@ -141,9 +175,9 @@ func Fig5(opts Options) ([]*metrics.Table, error) {
 			}
 			for _, n := range opts.sweep(tr.Nodes()) {
 				deviants := opts.pickDeviants(tr.Nodes(), n, "fig5")
-				row := []any{n}
-				for _, outsiders := range []bool{false, true} {
-					stats, err := opts.measure(runSpec{
+				var cells [2]*cell
+				for i, outsiders := range []bool{false, true} {
+					cells[i], err = b.measure(runSpec{
 						scenario:      scenario,
 						kind:          protocol.DelegationLastContact,
 						delta1:        scenario.DelegationTTL,
@@ -154,14 +188,23 @@ func Fig5(opts Options) ([]*metrics.Table, error) {
 					if err != nil {
 						return nil, err
 					}
-					row = append(row, stats.Success)
-					opts.logf("fig5 %s %s=%d outsiders=%v delivery=%.1f%%",
-						scenario.Name, deviation, n, outsiders, stats.Success)
 				}
-				tbl.AddRow(row...)
+				b.then(func() {
+					row := []any{n}
+					for i, outsiders := range []bool{false, true} {
+						stats := cells[i].stats()
+						row = append(row, stats.Success)
+						opts.logf("fig5 %s %s=%d outsiders=%v delivery=%.1f%%",
+							scenario.Name, deviation, n, outsiders, stats.Success)
+					}
+					tbl.AddRow(row...)
+				})
 			}
 			out = append(out, tbl)
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -170,6 +213,7 @@ func Fig5(opts Options) ([]*metrics.Table, error) {
 // detection time for droppers, liars, and cheaters — plain and
 // with-outsiders — on both traces.
 func Table1(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
@@ -183,7 +227,7 @@ func Table1(opts Options) ([]*metrics.Table, error) {
 		for _, outsiders := range []bool{false, true} {
 			for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar, protocol.Cheater} {
 				deviants := opts.pickDeviants(tr.Nodes(), n, "table1")
-				stats, err := opts.measure(runSpec{
+				c, err := b.measure(runSpec{
 					scenario:      scenario,
 					kind:          protocol.G2GDelegationLastContact,
 					delta1:        scenario.DelegationTTL,
@@ -198,11 +242,17 @@ func Table1(opts Options) ([]*metrics.Table, error) {
 				if outsiders {
 					label += " with outsiders"
 				}
-				tbl.AddRow(label, stats.DetectionRate, fmt.Sprintf("%.1f", stats.DetectionMinutes))
-				opts.logf("table1 %s %s rate=%.1f%%", scenario.Name, label, stats.DetectionRate)
+				b.then(func() {
+					stats := c.stats()
+					tbl.AddRow(label, stats.DetectionRate, fmt.Sprintf("%.1f", stats.DetectionMinutes))
+					opts.logf("table1 %s %s rate=%.1f%%", scenario.Name, label, stats.DetectionRate)
+				})
 			}
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -210,6 +260,7 @@ func Table1(opts Options) ([]*metrics.Table, error) {
 // Fig7 reproduces Figure 7: G2G Delegation's detection time versus the
 // number of selfish nodes, per deviation type.
 func Fig7(opts Options) ([]*metrics.Table, error) {
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
@@ -220,15 +271,16 @@ func Fig7(opts Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		deviations := []protocol.Deviation{protocol.Dropper, protocol.Liar, protocol.Cheater}
 		for _, n := range opts.sweep(tr.Nodes()) {
 			if n == 0 {
 				continue
 			}
 			deviants := opts.pickDeviants(tr.Nodes(), n, "fig7")
-			row := []any{n}
-			for _, outsiders := range []bool{false, true} {
-				for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar, protocol.Cheater} {
-					stats, err := opts.measure(runSpec{
+			var cells [6]*cell
+			for i, outsiders := range []bool{false, true} {
+				for j, deviation := range deviations {
+					cells[i*len(deviations)+j], err = b.measure(runSpec{
 						scenario:      scenario,
 						kind:          protocol.G2GDelegationLastContact,
 						delta1:        scenario.DelegationTTL,
@@ -239,15 +291,26 @@ func Fig7(opts Options) ([]*metrics.Table, error) {
 					if err != nil {
 						return nil, err
 					}
-					row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes))
-					opts.logf("fig7 %s %s=%d outsiders=%v time=%.1fm rate=%.0f%%",
-						scenario.Name, deviation, n, outsiders,
-						stats.DetectionMinutes, stats.DetectionRate)
 				}
 			}
-			tbl.AddRow(row...)
+			b.then(func() {
+				row := []any{n}
+				for i, outsiders := range []bool{false, true} {
+					for j, deviation := range deviations {
+						stats := cells[i*len(deviations)+j].stats()
+						row = append(row, fmt.Sprintf("%.1f", stats.DetectionMinutes))
+						opts.logf("fig7 %s %s=%d outsiders=%v time=%.1fm rate=%.0f%%",
+							scenario.Name, deviation, n, outsiders,
+							stats.DetectionMinutes, stats.DetectionRate)
+					}
+				}
+				tbl.AddRow(row...)
+			})
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -260,6 +323,7 @@ func Fig8(opts Options) ([]*metrics.Table, error) {
 		protocol.DelegationLastContact, protocol.G2GDelegationLastContact,
 		protocol.DelegationFrequency, protocol.G2GDelegationFrequency,
 	}
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
@@ -270,17 +334,23 @@ func Fig8(opts Options) ([]*metrics.Table, error) {
 			if kind.IsDelegation() {
 				delta1 = scenario.DelegationTTL
 			}
-			stats, err := opts.measure(runSpec{scenario: scenario, kind: kind, delta1: delta1})
+			c, err := b.measure(runSpec{scenario: scenario, kind: kind, delta1: delta1})
 			if err != nil {
 				return nil, err
 			}
-			tbl.AddRow(kind.String(), stats.CostToDelivery, stats.Cost,
-				stats.Success, fmt.Sprintf("%.1f", stats.DelayMinutes))
-			opts.logf("fig8 %s %s cost=%.2f/%.2f success=%.1f%% delay=%.1fm",
-				scenario.Name, kind, stats.CostToDelivery, stats.Cost,
-				stats.Success, stats.DelayMinutes)
+			b.then(func() {
+				stats := c.stats()
+				tbl.AddRow(kind.String(), stats.CostToDelivery, stats.Cost,
+					stats.Success, fmt.Sprintf("%.1f", stats.DelayMinutes))
+				opts.logf("fig8 %s %s cost=%.2f/%.2f success=%.1f%% delay=%.1fm",
+					scenario.Name, kind, stats.CostToDelivery, stats.Cost,
+					stats.Success, stats.DelayMinutes)
+			})
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -17,36 +17,45 @@ func Memory(opts Options) ([]*metrics.Table, error) {
 		protocol.Epidemic, protocol.G2GEpidemic,
 		protocol.DelegationLastContact, protocol.G2GDelegationLastContact,
 	}
+	b := opts.newBatch()
 	var out []*metrics.Table
 	for _, scenario := range BothScenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Sec. VIII (%s): per-node memory overhead", scenario.Name),
 			"protocol", "mean memory (KB·s per node)", "vs vanilla")
-		var vanilla float64
+		// The vs-vanilla factor chains row to row, which the in-order firing
+		// of the deferred callbacks preserves.
+		vanilla := new(float64)
 		for _, kind := range kinds {
 			delta1 := scenario.EpidemicTTL
 			if kind.IsDelegation() {
 				delta1 = scenario.DelegationTTL
 			}
-			res, err := opts.run(runSpec{scenario: scenario, kind: kind, delta1: delta1})
+			c, err := b.single(runSpec{scenario: scenario, kind: kind, delta1: delta1})
 			if err != nil {
 				return nil, err
 			}
-			var total float64
-			for _, u := range res.Usage {
-				total += u.MemoryByteSeconds
-			}
-			perNode := total / float64(len(res.Usage)) / 1024
-			factor := "1.00x"
-			if kind.IsG2G() && vanilla > 0 {
-				factor = fmt.Sprintf("%.2fx", perNode/vanilla)
-			} else {
-				vanilla = perNode
-			}
-			tbl.AddRow(kind.String(), perNode, factor)
-			opts.logf("memory %s %s %.0f KB·s/node", scenario.Name, kind, perNode)
+			b.then(func() {
+				res := c.result()
+				var total float64
+				for _, u := range res.Usage {
+					total += u.MemoryByteSeconds
+				}
+				perNode := total / float64(len(res.Usage)) / 1024
+				factor := "1.00x"
+				if kind.IsG2G() && *vanilla > 0 {
+					factor = fmt.Sprintf("%.2fx", perNode/(*vanilla))
+				} else {
+					*vanilla = perNode
+				}
+				tbl.AddRow(kind.String(), perNode, factor)
+				opts.logf("memory %s %s %.0f KB·s/node", scenario.Name, kind, perNode)
+			})
 		}
 		out = append(out, tbl)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the heavy full-registry sweeps to a representative
+// subset of experiment ids under the race detector, which slows simulation
+// by an order of magnitude. The concurrency being checked is the same for
+// every id; the full byte-identity sweep runs in the regular test pass.
+const raceEnabled = true

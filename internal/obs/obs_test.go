@@ -257,12 +257,12 @@ func TestMetricsSnapshot(t *testing.T) {
 	m.Protocol.NoteQualityUpdate()
 	m.Protocol.NoteWire(5, 100)
 	m.Protocol.NoteWire(5, 120)
-	m.Protocol.KindNamer = func(k uint8) string {
+	m.Protocol.SetKindNamer(func(k uint8) string {
 		if k == 5 {
 			return "POR"
 		}
 		return "?"
-	}
+	})
 	m.Crypto.SetProvider("fast")
 	m.Crypto.NoteSign(time.Microsecond)
 	m.Crypto.NoteVerify(time.Microsecond)

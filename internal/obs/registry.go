@@ -301,10 +301,36 @@ type ProtocolStats struct {
 
 	wireCount [maxWireKinds]Counter
 	wireBytes [maxWireKinds]Counter
-	// KindNamer translates a wire kind byte to its protocol name for
-	// snapshots. Set once during run setup (the obs package cannot import
-	// the wire package); nil falls back to "kind_N".
-	KindNamer func(uint8) string
+	// kindNamer translates a wire kind byte to its protocol name for
+	// snapshots (the obs package cannot import the wire package). It is
+	// stored atomically because a registry shared across a parallel sweep
+	// has every run install the namer during setup.
+	kindNamer atomic.Pointer[func(uint8) string]
+}
+
+// SetKindNamer installs the wire-kind naming function used by snapshots.
+// It is safe to call concurrently (every run of a shared-registry sweep
+// installs it); nil detaches, falling back to "kind_N" names.
+func (p *ProtocolStats) SetKindNamer(fn func(uint8) string) {
+	if p == nil {
+		return
+	}
+	if fn == nil {
+		p.kindNamer.Store(nil)
+		return
+	}
+	p.kindNamer.Store(&fn)
+}
+
+// KindNamer returns the installed naming function, or nil.
+func (p *ProtocolStats) KindNamer() func(uint8) string {
+	if p == nil {
+		return nil
+	}
+	if fn := p.kindNamer.Load(); fn != nil {
+		return *fn
+	}
+	return nil
 }
 
 // NoteTestStarted records one issued test-phase challenge.
@@ -382,8 +408,8 @@ func (p *ProtocolStats) snapshot() ProtocolSnapshot {
 			continue
 		}
 		name := "kind_" + strconv.Itoa(k)
-		if p.KindNamer != nil {
-			name = p.KindNamer(uint8(k))
+		if namer := p.KindNamer(); namer != nil {
+			name = namer(uint8(k))
 		}
 		if s.Wire == nil {
 			s.Wire = make(map[string]WireStat)

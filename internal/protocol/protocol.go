@@ -15,6 +15,8 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
@@ -37,31 +39,50 @@ const (
 	G2GDelegationLastContact
 )
 
-var kindNames = map[Kind]string{
-	Epidemic:                 "epidemic",
-	G2GEpidemic:              "g2g-epidemic",
-	DelegationFrequency:      "delegation-frequency",
-	DelegationLastContact:    "delegation-last-contact",
-	G2GDelegationFrequency:   "g2g-delegation-frequency",
-	G2GDelegationLastContact: "g2g-delegation-last-contact",
+// kindTable fixes the canonical protocol names in declaration order. Both
+// Kind.String and ParseKind walk this one table, so name lookups are
+// order-independent (no map iteration) and the two directions cannot drift.
+var kindTable = [...]struct {
+	kind Kind
+	name string
+}{
+	{Epidemic, "epidemic"},
+	{G2GEpidemic, "g2g-epidemic"},
+	{DelegationFrequency, "delegation-frequency"},
+	{DelegationLastContact, "delegation-last-contact"},
+	{G2GDelegationFrequency, "g2g-delegation-frequency"},
+	{G2GDelegationLastContact, "g2g-delegation-last-contact"},
 }
 
 // String returns the protocol's canonical name.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	for _, e := range kindTable {
+		if e.kind == k {
+			return e.name
+		}
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// KindNames returns every canonical protocol name in sorted order.
+func KindNames() []string {
+	out := make([]string, len(kindTable))
+	for i, e := range kindTable {
+		out[i] = e.name
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ParseKind resolves a canonical protocol name.
 func ParseKind(s string) (Kind, error) {
-	for k, name := range kindNames {
-		if name == s {
-			return k, nil
+	for _, e := range kindTable {
+		if e.name == s {
+			return e.kind, nil
 		}
 	}
-	return 0, fmt.Errorf("protocol: unknown protocol %q", s)
+	return 0, fmt.Errorf("protocol: unknown protocol %q (want one of: %s)",
+		s, strings.Join(KindNames(), ", "))
 }
 
 // IsG2G reports whether the protocol carries the Give2Get accountability
@@ -248,7 +269,7 @@ func (e *Env) SetMetrics(m *obs.Metrics) {
 		return
 	}
 	e.stats, e.crypto = &m.Protocol, &m.Crypto
-	m.Protocol.KindNamer = func(k uint8) string { return wire.Kind(k).String() }
+	m.Protocol.SetKindNamer(func(k uint8) string { return wire.Kind(k).String() })
 }
 
 // NewEnv validates and assembles an environment.

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
 	"give2get/internal/g2gcrypto"
@@ -159,6 +161,30 @@ func TestKindNamesRoundTrip(t *testing.T) {
 	}
 	if Kind(99).String() == "" || Deviation(99).String() == "" {
 		t.Error("unknown enum has empty name")
+	}
+}
+
+// TestParseKindErrorListsNames pins the unknown-protocol error: it must name
+// every canonical protocol, in sorted order, so a CLI typo is self-healing.
+func TestParseKindErrorListsNames(t *testing.T) {
+	names := KindNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("KindNames not sorted: %v", names)
+	}
+	if len(names) != 6 {
+		t.Fatalf("KindNames = %v", names)
+	}
+	_, err := ParseKind("bogus")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+	if i, j := strings.Index(err.Error(), "delegation-frequency"), strings.Index(err.Error(), "epidemic"); i > j {
+		t.Errorf("error names not in sorted order: %q", err)
 	}
 }
 

@@ -73,10 +73,11 @@ func TestKindNamerWired(t *testing.T) {
 	w := newWorld(t, Epidemic, 2, params, nil)
 	m := obs.NewMetrics()
 	w.env.SetMetrics(m)
-	if m.Protocol.KindNamer == nil {
+	namer := m.Protocol.KindNamer()
+	if namer == nil {
 		t.Fatal("KindNamer not set")
 	}
-	if got := m.Protocol.KindNamer(uint8(wire.KindProofOfRelay)); got != "POR" {
+	if got := namer(uint8(wire.KindProofOfRelay)); got != "POR" {
 		t.Fatalf("KindNamer(POR kind) = %q", got)
 	}
 }

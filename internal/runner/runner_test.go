@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"give2get/internal/engine"
+	"give2get/internal/mobility"
+	"give2get/internal/obs"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// testTrace builds one small two-community trace; every test shares it
+// read-only, which is itself part of what the concurrency tests exercise.
+func testTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	cfg := mobility.Config{
+		Name:           "runner-test",
+		CommunitySizes: []int{6, 6},
+		Duration:       30 * sim.Hour,
+		Within:         mobility.PairParams{ShortGap: 8 * sim.Minute, LongGap: 80 * sim.Minute, BurstProb: 0.65},
+		Across:         mobility.PairParams{ShortGap: 20 * sim.Minute, LongGap: 5 * sim.Hour, BurstProb: 0.3},
+		ContactMean:    2 * sim.Minute,
+	}
+	tr, err := mobility.Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// baseConfig is a light G2G Epidemic run with deviants, so sessions, test
+// phases, detections, and PoM broadcasts all execute.
+func baseConfig(tr *trace.Trace, seed int64) engine.Config {
+	cfg := engine.Config{
+		Trace:     tr,
+		Protocol:  protocol.G2GEpidemic,
+		Params:    protocol.DefaultParams(30 * sim.Minute),
+		Seed:      seed,
+		Deviants:  []trace.NodeID{2, 7},
+		Deviation: protocol.Dropper,
+	}
+	engine.DefaultWorkload(&cfg, 13*sim.Hour)
+	cfg.MessageInterval = 45 * sim.Second
+	cfg.Params.HeavyHMACIterations = 4
+	return cfg
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if got := DeriveSeed(7, 0); got != 7 {
+		t.Errorf("DeriveSeed(7,0) = %d", got)
+	}
+	if got := DeriveSeed(7, 3); got != 10 {
+		t.Errorf("DeriveSeed(7,3) = %d", got)
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	out, err := Run(nil, Options{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// TestConcurrentRunsMatchSequential is the determinism contract end to end:
+// >= 8 engine runs execute concurrently over ONE shared *trace.Trace and ONE
+// shared *obs.Metrics registry, and every outcome must be identical to its
+// sequential twin run in isolation. `go test -race ./internal/runner`
+// makes this double as the engine's concurrent-use race check.
+func TestConcurrentRunsMatchSequential(t *testing.T) {
+	tr := testTrace(t)
+	shared := obs.NewMetrics()
+
+	const runs = 9
+	specs := make([]Spec, runs)
+	for i := range specs {
+		specs[i] = Spec{
+			Label:  fmt.Sprintf("twin-%d", i),
+			Config: baseConfig(tr, DeriveSeed(1, i)),
+		}
+	}
+	out, err := Run(specs, Options{Jobs: runs, Telemetry: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantGenerated int64
+	for i := range specs {
+		if out[i].Result == nil || out[i].Err != nil {
+			t.Fatalf("run %d: %+v", i, out[i])
+		}
+		cfg := baseConfig(tr, DeriveSeed(1, i)) // private registry this time
+		want, err := engine.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out[i].Result
+		if got.Summary != want.Summary {
+			t.Errorf("run %d summary diverged:\nparallel:   %+v\nsequential: %+v",
+				i, got.Summary, want.Summary)
+		}
+		if !reflect.DeepEqual(got.Detection, want.Detection) {
+			t.Errorf("run %d detection diverged:\nparallel:   %+v\nsequential: %+v",
+				i, got.Detection, want.Detection)
+		}
+		if !reflect.DeepEqual(got.Usage, want.Usage) {
+			t.Errorf("run %d usage accounting diverged", i)
+		}
+		if got.EndedAt != want.EndedAt {
+			t.Errorf("run %d ended at %v, sequential twin at %v", i, got.EndedAt, want.EndedAt)
+		}
+		wantGenerated += int64(want.Summary.Generated)
+	}
+
+	// The shared registry aggregated every run.
+	snap := shared.Snapshot()
+	if snap.Engine.MessagesGenerated != wantGenerated {
+		t.Errorf("shared registry generated = %d, want %d (sum of runs)",
+			snap.Engine.MessagesGenerated, wantGenerated)
+	}
+	if snap.Protocol.TestsStarted == 0 || snap.Engine.PoMBroadcasts == 0 {
+		t.Errorf("shared registry missing protocol activity: %+v", snap.Protocol)
+	}
+}
+
+// TestOutcomesIndexOrderedAcrossJobs runs the same batch at jobs=1 and
+// jobs=4 and requires identical outcomes slot by slot: collection is by spec
+// index, not completion order.
+func TestOutcomesIndexOrderedAcrossJobs(t *testing.T) {
+	tr := testTrace(t)
+	build := func() []Spec {
+		specs := make([]Spec, 6)
+		for i := range specs {
+			specs[i] = Spec{Label: fmt.Sprintf("r%d", i), Config: baseConfig(tr, DeriveSeed(3, i))}
+		}
+		return specs
+	}
+	seq, err := Run(build(), Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(build(), Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Label != par[i].Label {
+			t.Fatalf("slot %d label %q vs %q", i, seq[i].Label, par[i].Label)
+		}
+		if seq[i].Result.Summary != par[i].Result.Summary {
+			t.Errorf("slot %d summary differs between jobs=1 and jobs=4", i)
+		}
+	}
+}
+
+// badSpec returns a spec whose config fails validation immediately.
+func badSpec(tr *trace.Trace, label string) Spec {
+	cfg := baseConfig(tr, 1)
+	cfg.MessageInterval = -1
+	return Spec{Label: label, Config: cfg}
+}
+
+func TestFailFastSkipsTail(t *testing.T) {
+	tr := testTrace(t)
+	specs := []Spec{
+		badSpec(tr, "boom-0"),
+		{Label: "ok-1", Config: baseConfig(tr, 1)},
+		{Label: "ok-2", Config: baseConfig(tr, 2)},
+	}
+	out, err := Run(specs, Options{Jobs: 1, Policy: FailFast})
+	if err == nil {
+		t.Fatal("no error from failing batch")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not *BatchError", err)
+	}
+	if be.FirstLabel != "boom-0" || be.Failed != 1 {
+		t.Errorf("batch error = %+v", be)
+	}
+	if out[0].Err == nil {
+		t.Error("failed run has no error")
+	}
+	if !out[1].Skipped || !out[2].Skipped {
+		t.Errorf("tail not skipped after failure: %+v %+v", out[1], out[2])
+	}
+}
+
+func TestCollectAllRunsEverything(t *testing.T) {
+	tr := testTrace(t)
+	specs := []Spec{
+		badSpec(tr, "boom-0"),
+		{Label: "ok-1", Config: baseConfig(tr, 1)},
+		badSpec(tr, "boom-2"),
+	}
+	out, err := Run(specs, Options{Jobs: 2, Policy: CollectAll})
+	if err == nil {
+		t.Fatal("no error from failing batch")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not *BatchError", err)
+	}
+	if be.Failed != 2 || be.Total != 3 || be.FirstLabel != "boom-0" {
+		t.Errorf("batch error = %+v", be)
+	}
+	if out[1].Result == nil || out[1].Skipped {
+		t.Errorf("healthy run did not complete under CollectAll: %+v", out[1])
+	}
+}
+
+func TestProgressReportsEveryRun(t *testing.T) {
+	tr := testTrace(t)
+	var buf strings.Builder
+	specs := []Spec{
+		{Label: "a", Config: baseConfig(tr, 1)},
+		{Label: "b", Config: baseConfig(tr, 2)},
+	}
+	// The progress writer is only written under the runner's own mutex, so a
+	// plain strings.Builder is safe here.
+	if _, err := Run(specs, Options{Jobs: 2, Progress: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"a", "b", "2/2", "done"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("progress missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package give2get
+
+import (
+	"io"
+
+	"give2get/internal/engine"
+	"give2get/internal/obs"
+)
+
+// TraceSink receives one structured record per protocol event during a run.
+// Implementations must be safe for concurrent use: a sink set on a
+// SimulationConfig used in a RunSweep is shared by every concurrent repeat.
+type TraceSink = obs.TraceSink
+
+// TraceRecord is one trace event: simulation and wall timestamps, level,
+// event name, and the event's message/node fields.
+type TraceRecord = obs.Record
+
+// TraceLevel classifies trace records by severity.
+type TraceLevel = obs.Level
+
+// The trace levels, from chattiest to most severe.
+const (
+	TraceDebug TraceLevel = obs.LevelDebug
+	TraceInfo  TraceLevel = obs.LevelInfo
+	TraceWarn  TraceLevel = obs.LevelWarn
+)
+
+// NewJSONTraceSink returns a sink writing one JSON object per record at or
+// above min to w, equivalent to what SimulationConfig.TraceJSON produces at
+// TraceDebug.
+func NewJSONTraceSink(w io.Writer, min TraceLevel) TraceSink {
+	return obs.NewJSONSink(w, min)
+}
+
+// NewLegacyEventSink returns a sink writing the deprecated
+// SimulationConfig.EventLog JSON-lines format to w, byte for byte — the
+// migration path off the EventLog field.
+func NewLegacyEventSink(w io.Writer) TraceSink {
+	return engine.NewLegacyEventSink(w)
+}
+
+// MultiSink fans records out to every non-nil sink.
+func MultiSink(sinks ...TraceSink) TraceSink {
+	return obs.Multi(sinks...)
+}
