@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 10s
+COVER_FLOOR ?= 70
 
-.PHONY: all build test vet race bench check ci
+.PHONY: all build test vet race bench fuzz cover check ci
 
 all: check
 
@@ -24,11 +26,35 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Native fuzzing over every parser/validator entry point. Go allows one
+# -fuzz target per invocation, so each runs for FUZZTIME in turn. Plain
+# `go test` already replays the committed seed corpora.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseTrace -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalSigned -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzParseKind -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzParamsValidate -fuzztime=$(FUZZTIME) ./internal/protocol
+
+# Coverage with a per-package floor (COVER_FLOOR percent) over the library
+# packages. The profile lands in cover.out for `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... . >cover.txt; \
+	status=$$?; cat cover.txt; \
+	if [ $$status -ne 0 ]; then rm -f cover.txt; exit $$status; fi
+	@awk -v floor=$(COVER_FLOOR) '/coverage:/ && $$1 == "ok" { \
+		pct = $$5; sub(/%$$/, "", pct); \
+		if (pct + 0 < floor) { printf "cover: %s below floor (%s%% < %d%%)\n", $$2, pct, floor; bad = 1 } \
+	} END { exit bad }' cover.txt && echo "cover: all packages >= $(COVER_FLOOR)%"
+	@rm -f cover.txt
+
 check: build vet test race
 
-# ci is the documented verification entry point: build, vet, the full test
-# suite, the race pass, and a quick-mode experiment smoke run through the
-# parallel scheduler.
-ci: build vet test race
+# ci is the documented verification entry point: build, vet, the coverage
+# floor, the race pass, a quick-mode experiment smoke run through the
+# parallel scheduler, and a fully audited honest run on each preset (the
+# auditor fails the command on any invariant violation).
+ci: build vet cover race
 	$(GO) run ./cmd/g2gexp -experiment secV -quick -jobs 0 >/dev/null
+	$(GO) run ./cmd/g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 10m -interval 60s -audit >/dev/null
+	$(GO) run ./cmd/g2gsim -preset cambridge06 -protocol g2g-delegation-frequency -ttl 10m -interval 60s -audit >/dev/null
 	@echo "ci: OK"

@@ -32,6 +32,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	var (
 		experiment = fs.String("experiment", "all", "experiment id, or 'all'")
 		quick      = fs.Bool("quick", false, "reduced workload (faster, coarser sweeps)")
+		tiny       = fs.Bool("tiny", false, "unit-test scale workload (implies -quick)")
+		audit      = fs.Bool("audit", false, "run the invariant auditor on every simulation; any violation fails the experiment")
 		seed       = fs.Int64("seed", 1, "seed for workload and deviant selection")
 		repeats    = fs.Int("repeats", 1, "average each measurement over this many seeds")
 		jobs       = fs.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
@@ -59,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats, Jobs: *jobs}
+	opts := experiments.Options{Quick: *quick, Tiny: *tiny, Audit: *audit, Seed: *seed, Repeats: *repeats, Jobs: *jobs}
 	if *verbose {
 		opts.Progress = stderr
 	}

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		deviation = fs.String("deviation", "dropper", "deviation strategy (dropper|liar|cheater)")
 		outsiders = fs.Bool("outsiders", false, "deviants spare their own community")
 		realCrypt = fs.Bool("realcrypto", false, "use Ed25519/X25519/AES-GCM instead of the fast provider")
+		audit     = fs.Bool("audit", false, "run the invariant auditor alongside the simulation; violations fail the run")
 		repeats   = fs.Int("repeats", 1, "average the run over this many derived seeds (seed, seed+1, ...)")
 		jobs      = fs.Int("jobs", 0, "concurrent runs when -repeats > 1 (0 = GOMAXPROCS)")
 		events    = fs.String("events", "", "write a JSON-lines event log of the run to this file (legacy format)")
@@ -122,6 +123,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		cfg.Progress = stderr
 		cfg.ProgressInterval = *progress
 	}
+	if *audit {
+		cfg.Audit = give2get.AuditConfig{Enabled: true}
+	}
 
 	if *repeats > 1 {
 		sweep, err := give2get.RunSweep(give2get.SweepConfig{
@@ -139,6 +143,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if *deviants > 0 {
 			fmt.Fprintf(stdout, "deviants:    %d %ss (outsiders=%v)\n", len(cfg.Deviants), *deviation, *outsiders)
 			fmt.Fprintf(stdout, "detection:   %.1f%% exposed mean\n", sweep.DetectionRate)
+		}
+		if *audit {
+			// RunSweep promotes violations to errors, so reaching this point
+			// means every repeat audited clean.
+			fmt.Fprintf(stdout, "audit: ok (%d runs clean)\n", len(sweep.Runs))
 		}
 		return nil
 	}
@@ -158,6 +167,15 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		fmt.Fprintf(stdout, "deviants:    %d %ss (outsiders=%v)\n", len(cfg.Deviants), *deviation, *outsiders)
 		fmt.Fprintf(stdout, "detection:   %.1f%% exposed, mean %v after TTL, %d false accusations\n",
 			res.DetectionRate, res.MeanDetectionTime.Round(time.Second), res.FalseAccusations)
+	}
+	if rep := res.AuditReport; rep != nil {
+		fmt.Fprintln(stdout, rep)
+		if err := rep.Err(); err != nil {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(stderr, "  ", v)
+			}
+			return err
+		}
 	}
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, res.Telemetry); err != nil {

@@ -16,6 +16,7 @@ func runExperiment(id string, opts ExperimentOptions) (string, error) {
 		Seed:    opts.Seed,
 		Repeats: opts.Repeats,
 		Jobs:    opts.Jobs,
+		Audit:   opts.Audit,
 	})
 	if err != nil {
 		return "", err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"give2get/internal/engine"
+	"give2get/internal/invariant"
 	"give2get/internal/obs"
 	"give2get/internal/protocol"
 	"give2get/internal/runner"
@@ -117,7 +118,25 @@ type SimulationConfig struct {
 	Progress io.Writer
 	// ProgressInterval is the progress period; zero means 10 seconds.
 	ProgressInterval time.Duration
+
+	// Audit, when enabled, runs the online invariant auditor alongside the
+	// simulation and attaches its report to the result.
+	Audit AuditConfig
 }
+
+// AuditConfig switches on the invariant auditor: a shadow model of the run
+// that cross-checks every protocol event and the end-of-run accounting.
+type AuditConfig struct {
+	// Enabled attaches the auditor; the run's Result then carries a non-nil
+	// AuditReport. Violations never abort the run — inspect the report (or
+	// use RunSweep, which promotes them to errors).
+	Enabled bool
+	// Label tags violations with the run's name in multi-run output.
+	Label string
+}
+
+// AuditReport is the invariant auditor's frozen verdict for one run.
+type AuditReport = invariant.Report
 
 // Result summarizes a run.
 type Result struct {
@@ -148,6 +167,10 @@ type Result struct {
 	// Telemetry is the run report: per-subsystem counters and phase wall
 	// timings. Always populated.
 	Telemetry *Telemetry
+
+	// AuditReport is the invariant auditor's verdict; nil unless the run was
+	// configured with Audit.Enabled.
+	AuditReport *AuditReport
 }
 
 // DetectionInfo describes one exposed deviant.
@@ -212,6 +235,9 @@ func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 	}
 	ecfg.Progress = cfg.Progress
 	ecfg.ProgressEvery = cfg.ProgressInterval
+	if cfg.Audit.Enabled {
+		ecfg.Audit = &invariant.Options{Label: cfg.Audit.Label}
+	}
 
 	windowStart := sim.Time(cfg.WindowStart)
 	if windowStart == 0 {
@@ -250,6 +276,7 @@ func publicResult(res *engine.Result) *Result {
 	}
 	out := &Result{
 		Telemetry:         res.Telemetry,
+		AuditReport:       res.Audit,
 		Detections:        detections,
 		Generated:         res.Summary.Generated,
 		Delivered:         res.Summary.Delivered,
@@ -305,9 +332,16 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		specs[r] = runner.Spec{Label: fmt.Sprintf("repeat-%d", r), Config: ecfg}
+		label := fmt.Sprintf("repeat-%d", r)
+		if ecfg.Audit != nil && ecfg.Audit.Label == "" {
+			ecfg.Audit = &invariant.Options{Label: label}
+		}
+		specs[r] = runner.Spec{Label: label, Config: ecfg}
 	}
-	outcomes, err := runner.Run(specs, runner.Options{Jobs: cfg.Jobs})
+	outcomes, err := runner.Run(specs, runner.Options{
+		Jobs:        cfg.Jobs,
+		StrictAudit: cfg.Audit.Enabled,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +383,9 @@ type ExperimentOptions struct {
 	// Jobs is how many simulations run concurrently; zero means GOMAXPROCS.
 	// The rendered output is byte-identical for every value.
 	Jobs int
+	// Audit runs the invariant auditor on every simulation of the
+	// experiment; any violation fails the experiment with an error.
+	Audit bool
 }
 
 // RunExperiment regenerates one of the paper's tables or figures and returns

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"give2get/internal/g2gcrypto"
+	"give2get/internal/invariant"
 	"give2get/internal/kclique"
 	"give2get/internal/metrics"
 	"give2get/internal/mobility"
@@ -90,6 +91,12 @@ type Config struct {
 	// sweep. When nil the engine uses a private registry, so Result.Telemetry
 	// is always populated.
 	Telemetry *obs.Metrics
+	// Audit, when non-nil, attaches the invariant auditor to the run: every
+	// protocol event is checked against a shadow model online and the
+	// reconciled report lands in Result.Audit. Violations never abort the
+	// run — callers decide what a failed audit means (see
+	// runner.Options.StrictAudit).
+	Audit *invariant.Options
 	// Progress, when non-nil, receives periodic one-line progress reports
 	// every ProgressEvery of wall time (default 10s) while the run executes.
 	Progress io.Writer
@@ -153,6 +160,10 @@ type Result struct {
 	// Telemetry is the run report: sim-kernel, engine, protocol, and crypto
 	// counters plus per-phase wall timings. Always non-nil.
 	Telemetry *obs.Snapshot
+	// Audit is the invariant auditor's report; non-nil exactly when
+	// Config.Audit was set. A report with violations does not make the run
+	// fail here — see Report.Err for the strict form.
+	Audit *invariant.Report
 }
 
 // DefaultWorkload fills in the paper's standard workload settings for a
@@ -184,6 +195,7 @@ type engine struct {
 	env       *protocol.Env
 	collector *metrics.Collector
 	metrics   *obs.Metrics
+	auditor   *invariant.Auditor
 	nodes     []protocol.Node
 	comms     *kclique.Communities
 
@@ -229,6 +241,20 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	collector := metrics.NewCollector()
 	observer := &runObserver{inner: collector, eng: &m.Engine, sink: sink}
+	var auditor *invariant.Auditor
+	if cfg.Audit != nil {
+		auditor = invariant.New(invariant.Config{
+			Options:         *cfg.Audit,
+			Sys:             sys,
+			Params:          cfg.Params,
+			Population:      population,
+			Deviants:        cfg.Deviants,
+			Deviation:       cfg.Deviation,
+			G2G:             cfg.Protocol.IsG2G(),
+			SharedTelemetry: cfg.Telemetry != nil,
+		})
+		observer.audit = auditor
+	}
 	env, err := protocol.NewEnv(sys, cfg.Params, observer,
 		sim.StreamFromSeed(cfg.Seed, "protocol"))
 	if err != nil {
@@ -242,6 +268,7 @@ func newEngine(cfg Config) (*engine, error) {
 		env:         env,
 		collector:   collector,
 		metrics:     m,
+		auditor:     auditor,
 		active:      make(map[trace.PairKey]int),
 		neighbors:   make([]map[trace.NodeID]struct{}, population),
 		workloadRNG: sim.StreamFromSeed(cfg.Seed, "workload"),
@@ -378,6 +405,26 @@ func (e *engine) run() (*Result, error) {
 		Usage:       usage,
 		EndedAt:     endedAt,
 		Telemetry:   e.metrics.Snapshot(),
+	}
+	if e.auditor != nil {
+		fin := invariant.Finalization{
+			SummaryGenerated:   result.Summary.Generated,
+			SummaryDelivered:   result.Summary.Delivered,
+			SummaryReplicas:    result.Summary.TotalReplicas,
+			SummaryTestsRun:    result.Summary.TestsRun,
+			SummaryTestsFailed: result.Summary.TestsFailed,
+			Telemetry:          result.Telemetry,
+			Blacklisted: func(holder, accused trace.NodeID) bool {
+				return e.nodes[holder].Blacklisted(accused)
+			},
+			EndedAt: endedAt,
+		}
+		for _, u := range usage {
+			fin.UsageSignatures += u.Signatures
+			fin.UsageControlMessages += u.ControlMessages
+			fin.UsageHeavyIterations += u.HeavyHMACIterations
+		}
+		result.Audit = e.auditor.Finalize(fin)
 	}
 	return result, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"give2get/internal/g2gcrypto"
+	"give2get/internal/invariant"
 	"give2get/internal/message"
 	"give2get/internal/obs"
 	"give2get/internal/protocol"
@@ -20,13 +21,22 @@ import (
 // into the engine telemetry and, when a trace sink is attached, emits one
 // typed record per protocol event. With a nil sink the tracing side is a
 // single nil check and allocates nothing (see BenchmarkTelemetryOverhead).
+// When an auditor is attached every event is additionally fed to the
+// invariant shadow model, including the PoR/PoM extension hooks — those two
+// never reach the sink, so audited runs keep the trace (and the legacy
+// EventLog) byte-identical to unaudited ones.
 type runObserver struct {
 	inner protocol.Observer
 	eng   *obs.EngineStats
 	sink  obs.TraceSink
+	audit *invariant.Auditor
 }
 
-var _ protocol.Observer = (*runObserver)(nil)
+var (
+	_ protocol.Observer      = (*runObserver)(nil)
+	_ protocol.RelayObserver = (*runObserver)(nil)
+	_ protocol.PoMObserver   = (*runObserver)(nil)
+)
 
 func shortHash(h g2gcrypto.Digest) string { return hex.EncodeToString(h[:4]) }
 
@@ -34,6 +44,9 @@ func shortHash(h g2gcrypto.Digest) string { return hex.EncodeToString(h[:4]) }
 func (o *runObserver) Generated(h g2gcrypto.Digest, id message.ID, src, dst trace.NodeID, at sim.Time) {
 	o.inner.Generated(h, id, src, dst, at)
 	o.eng.NoteGenerated()
+	if o.audit != nil {
+		o.audit.Generated(h, id, src, dst, at)
+	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "generate")
 		rec.Wall = time.Now()
@@ -47,6 +60,9 @@ func (o *runObserver) Generated(h g2gcrypto.Digest, id message.ID, src, dst trac
 func (o *runObserver) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at sim.Time) {
 	o.inner.Replicated(h, from, to, at)
 	o.eng.NoteRelayed()
+	if o.audit != nil {
+		o.audit.Replicated(h, from, to, at)
+	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "replicate")
 		rec.Wall = time.Now()
@@ -60,6 +76,9 @@ func (o *runObserver) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at s
 func (o *runObserver) Delivered(h g2gcrypto.Digest, at sim.Time) {
 	o.inner.Delivered(h, at)
 	o.eng.NoteDelivered()
+	if o.audit != nil {
+		o.audit.Delivered(h, at)
+	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "deliver")
 		rec.Wall = time.Now()
@@ -71,6 +90,9 @@ func (o *runObserver) Delivered(h g2gcrypto.Digest, at sim.Time) {
 // Detected implements protocol.Observer.
 func (o *runObserver) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, h g2gcrypto.Digest, at, ttlExpiry sim.Time) {
 	o.inner.Detected(accused, reason, h, at, ttlExpiry)
+	if o.audit != nil {
+		o.audit.Detected(accused, reason, h, at, ttlExpiry)
+	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelWarn) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelWarn, "detect")
 		rec.Wall = time.Now()
@@ -84,12 +106,31 @@ func (o *runObserver) Detected(accused trace.NodeID, reason wire.MisbehaviorReas
 // Tested implements protocol.Observer.
 func (o *runObserver) Tested(accused trace.NodeID, passed bool, at sim.Time) {
 	o.inner.Tested(accused, passed, at)
+	if o.audit != nil {
+		o.audit.Tested(accused, passed, at)
+	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelDebug) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelDebug, "test")
 		rec.Wall = time.Now()
 		rec.Node = int(accused)
 		rec.Passed, rec.HasPassed = passed, true
 		o.sink.Emit(rec)
+	}
+}
+
+// RelayProven implements protocol.RelayObserver: validated proofs of relay
+// flow to the auditor only (metrics and sinks do not consume them).
+func (o *runObserver) RelayProven(por wire.Signed, at sim.Time) {
+	if o.audit != nil {
+		o.audit.RelayProven(por, at)
+	}
+}
+
+// MisbehaviorReported implements protocol.PoMObserver: broadcast proofs of
+// misbehavior flow to the auditor only.
+func (o *runObserver) MisbehaviorReported(pom wire.Signed, at sim.Time) {
+	if o.audit != nil {
+		o.audit.MisbehaviorReported(pom, at)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"give2get/internal/engine"
+	"give2get/internal/invariant"
 	"give2get/internal/kclique"
 	"give2get/internal/obs"
 	"give2get/internal/protocol"
@@ -37,6 +38,9 @@ type Options struct {
 	// Telemetry, when non-nil, aggregates every run of the experiment into
 	// one shared registry (counters add up across runs and sweeps).
 	Telemetry *obs.Metrics
+	// Audit attaches the invariant auditor to every run of the experiment
+	// and fails the batch on any violation.
+	Audit bool
 }
 
 // interval is the mean Poisson message inter-generation time: the paper's
@@ -201,6 +205,9 @@ func (b *batch) add(spec runSpec, repeats int) (*cell, error) {
 		if repeats > 1 {
 			label = fmt.Sprintf("%s/r%d", label, r)
 		}
+		if b.opts.Audit {
+			cfg.Audit = &invariant.Options{Label: label}
+		}
 		b.specs = append(b.specs, runner.Spec{Label: label, Config: cfg})
 	}
 	return c, nil
@@ -213,9 +220,10 @@ func (b *batch) then(f func()) { b.finish = append(b.finish, f) }
 // deferred callbacks in order.
 func (b *batch) run() error {
 	outs, err := runner.Run(b.specs, runner.Options{
-		Jobs:      b.opts.Jobs,
-		Telemetry: b.opts.Telemetry,
-		Progress:  b.opts.Progress,
+		Jobs:        b.opts.Jobs,
+		Telemetry:   b.opts.Telemetry,
+		Progress:    b.opts.Progress,
+		StrictAudit: b.opts.Audit,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMemoryStableAcrossJobs pins the Options.Jobs contract on the memory
+// experiment, whose "vs vanilla" column is the most order-sensitive output
+// in the suite: the factor chains row to row off the vanilla baseline, so a
+// result delivered out of order would corrupt it silently rather than
+// crash. The rendered tables must be byte-identical at one worker and four.
+func TestMemoryStableAcrossJobs(t *testing.T) {
+	base := Options{Tiny: true, Seed: 1, Audit: true}
+
+	seqOpts := base
+	seqOpts.Jobs = 1
+	seq := renderAll(t, "memory", seqOpts)
+
+	parOpts := base
+	parOpts.Jobs = 4
+	par := renderAll(t, "memory", parOpts)
+
+	if seq != par {
+		t.Errorf("memory tables differ between Jobs=1 and Jobs=4\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "vs vanilla") {
+		t.Fatalf("memory tables missing the vs-vanilla column:\n%s", seq)
+	}
+}

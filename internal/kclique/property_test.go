@@ -1,0 +1,279 @@
+package kclique
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// The property tests check Detect against a brute-force reference
+// implementation of k-clique percolation on small random graphs: every
+// community must be exactly the node union of a connected component of
+// k-cliques (adjacent when sharing k-1 nodes), and the decomposition must be
+// invariant under relabeling the nodes.
+
+// graphTrace builds a trace whose contact graph, thresholded at minContacts,
+// is exactly the given edge set. Edges get minContacts meetings; every third
+// non-edge gets a single sub-threshold meeting as noise that the threshold
+// must filter out.
+func graphTrace(t *testing.T, n int, edges [][2]int, minContacts int) *trace.Trace {
+	t.Helper()
+	var contacts []trace.Contact
+	at := sim.Time(0)
+	add := func(a, b int) {
+		contacts = append(contacts, trace.Contact{
+			A: trace.NodeID(a), B: trace.NodeID(b),
+			Start: at, End: at + sim.Minute,
+		})
+		at += 2 * sim.Minute
+	}
+	for _, e := range edges {
+		for i := 0; i < minContacts; i++ {
+			add(e[0], e[1])
+		}
+	}
+	onEdge := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		onEdge[e] = true
+	}
+	noise := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !onEdge[[2]int{a, b}] {
+				if noise%3 == 0 && minContacts > 1 {
+					add(a, b)
+				}
+				noise++
+			}
+		}
+	}
+	tr, err := trace.New("property", n, contacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// referenceCPM is the textbook definition: enumerate every k-node clique,
+// join two k-cliques when they share exactly k-1 nodes, and return the node
+// unions of the connected components.
+func referenceCPM(n, k int, edges [][2]int) [][]trace.NodeID {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+
+	var cliques [][]int
+	subset := make([]int, 0, k)
+	var enumerate func(next int)
+	enumerate = func(next int) {
+		if len(subset) == k {
+			cliques = append(cliques, append([]int(nil), subset...))
+			return
+		}
+		for v := next; v < n; v++ {
+			ok := true
+			for _, u := range subset {
+				if !adj[u][v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				subset = append(subset, v)
+				enumerate(v + 1)
+				subset = subset[:len(subset)-1]
+			}
+		}
+	}
+	enumerate(0)
+
+	parent := make([]int, len(cliques))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	shared := func(a, b []int) int {
+		count := 0
+		for _, u := range a {
+			for _, v := range b {
+				if u == v {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	for i := 0; i < len(cliques); i++ {
+		for j := i + 1; j < len(cliques); j++ {
+			if shared(cliques[i], cliques[j]) == k-1 {
+				pi, pj := find(i), find(j)
+				if pi != pj {
+					parent[pj] = pi
+				}
+			}
+		}
+	}
+
+	byRoot := make(map[int]map[int]struct{})
+	for i, c := range cliques {
+		root := find(i)
+		if byRoot[root] == nil {
+			byRoot[root] = make(map[int]struct{})
+		}
+		for _, v := range c {
+			byRoot[root][v] = struct{}{}
+		}
+	}
+	var out [][]trace.NodeID
+	for _, set := range byRoot {
+		group := make([]trace.NodeID, 0, len(set))
+		for v := range set {
+			group = append(group, trace.NodeID(v))
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		out = append(out, group)
+	}
+	return out
+}
+
+// canon renders a community decomposition in a label-order-independent form
+// so two decompositions can be compared as sets of node sets.
+func canon(groups [][]trace.NodeID) string {
+	lines := make([]string, len(groups))
+	for i, g := range groups {
+		sorted := append([]trace.NodeID(nil), g...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		lines[i] = fmt.Sprint(sorted)
+	}
+	sort.Strings(lines)
+	return fmt.Sprint(lines)
+}
+
+func detected(c *Communities) [][]trace.NodeID {
+	out := make([][]trace.NodeID, c.Len())
+	for i := range out {
+		out[i] = c.Group(i)
+	}
+	return out
+}
+
+// randomGraph draws G(n,p) edges from a seeded source.
+func randomGraph(rng *rand.Rand, n int, p float64) [][2]int {
+	var edges [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+	}
+	return edges
+}
+
+// TestDetectMatchesReference compares Detect with the brute-force reference
+// over a spread of graph sizes, densities, and clique parameters.
+func TestDetectMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const minContacts = 2
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(9) // 4..12
+		p := []float64{0.3, 0.5, 0.7}[trial%3]
+		k := 2 + trial%3 // 2..4
+		edges := randomGraph(rng, n, p)
+		tr := graphTrace(t, n, edges, minContacts)
+
+		comms, err := Detect(tr, Options{K: k, MinContacts: minContacts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceCPM(n, k, edges)
+		if got := canon(detected(comms)); got != canon(want) {
+			t.Fatalf("trial %d (n=%d p=%.1f k=%d, %d edges):\ngot  %s\nwant %s",
+				trial, n, p, k, len(edges), got, canon(want))
+		}
+
+		// Membership accessors must agree with the groups.
+		for id := 0; id < comms.Len(); id++ {
+			for _, node := range comms.Group(id) {
+				ids := comms.Of(node)
+				found := false
+				for _, got := range ids {
+					if got == id {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: node %d in Group(%d) but Of=%v", trial, node, id, ids)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectRelabelingInvariance permutes the node labels and checks that the
+// decomposition is the same partition up to renaming: the permuted graph's
+// communities must equal the original communities mapped through the
+// permutation.
+func TestDetectRelabelingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const minContacts = 2
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(8) // 5..12
+		k := 2 + trial%3
+		edges := randomGraph(rng, n, 0.5)
+		perm := rng.Perm(n)
+
+		relabeled := make([][2]int, len(edges))
+		for i, e := range edges {
+			relabeled[i] = [2]int{perm[e[0]], perm[e[1]]}
+		}
+
+		orig, err := Detect(graphTrace(t, n, edges, minContacts), Options{K: k, MinContacts: minContacts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, err := Detect(graphTrace(t, n, relabeled, minContacts), Options{K: k, MinContacts: minContacts})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mapped := make([][]trace.NodeID, orig.Len())
+		for i := range mapped {
+			group := orig.Group(i)
+			mapped[i] = make([]trace.NodeID, len(group))
+			for j, node := range group {
+				mapped[i][j] = trace.NodeID(perm[node])
+			}
+		}
+		if got, want := canon(detected(moved)), canon(mapped); got != want {
+			t.Fatalf("trial %d (n=%d k=%d): relabeling changed the decomposition:\ngot  %s\nwant %s",
+				trial, n, k, got, want)
+		}
+
+		// SameCommunity must commute with the permutation too.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if orig.SameCommunity(trace.NodeID(a), trace.NodeID(b)) !=
+					moved.SameCommunity(trace.NodeID(perm[a]), trace.NodeID(perm[b])) {
+					t.Fatalf("trial %d: SameCommunity(%d,%d) not invariant under relabeling", trial, a, b)
+				}
+			}
+		}
+	}
+}

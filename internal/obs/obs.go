@@ -128,6 +128,43 @@ func (r Record) MarshalJSON() ([]byte, error) {
 	return r.appendJSON(nil), nil
 }
 
+// String renders the record as one compact human-readable line — the format
+// of event-timeline excerpts in diagnostics (invariant-violation reports).
+// Wall time is omitted: the line depends only on the virtual event, so the
+// same run always renders the same excerpt.
+func (r Record) String() string {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, "t="...)
+	buf = append(buf, r.Sim.String()...)
+	buf = append(buf, ' ')
+	buf = append(buf, r.Event...)
+	if r.Msg != "" {
+		buf = append(buf, " msg="...)
+		buf = append(buf, r.Msg...)
+	}
+	if r.From >= 0 {
+		buf = append(buf, " from="...)
+		buf = strconv.AppendInt(buf, int64(r.From), 10)
+	}
+	if r.To >= 0 {
+		buf = append(buf, " to="...)
+		buf = strconv.AppendInt(buf, int64(r.To), 10)
+	}
+	if r.Node >= 0 {
+		buf = append(buf, " node="...)
+		buf = strconv.AppendInt(buf, int64(r.Node), 10)
+	}
+	if r.Reason != "" {
+		buf = append(buf, " reason="...)
+		buf = append(buf, r.Reason...)
+	}
+	if r.HasPassed {
+		buf = append(buf, " passed="...)
+		buf = strconv.AppendBool(buf, r.Passed)
+	}
+	return string(buf)
+}
+
 // TraceSink receives trace records. Implementations must be safe for
 // concurrent use; emitters are expected to check Enabled before building a
 // Record so that disabled levels cost nothing.

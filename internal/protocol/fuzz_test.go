@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"testing"
+
+	"give2get/internal/sim"
+)
+
+// FuzzParseKind checks the protocol-name parser against arbitrary input:
+// accepted names must round-trip through Kind.String, and every canonical
+// name must be accepted. Under plain `go test` only the seed corpus runs;
+// `make fuzz` mutates it.
+func FuzzParseKind(f *testing.F) {
+	for _, name := range KindNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("EPIDEMIC")
+	f.Add("g2g-")
+	f.Add("g2g-epidemic ")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		kind, err := ParseKind(input)
+		if err != nil {
+			return
+		}
+		if got := kind.String(); got != input {
+			t.Fatalf("ParseKind(%q) = %v, which renders as %q", input, kind, got)
+		}
+		if _, err := ParseKind(kind.String()); err != nil {
+			t.Fatalf("canonical name %q rejected: %v", kind.String(), err)
+		}
+	})
+}
+
+// FuzzParamsValidate checks that Validate is a total function over arbitrary
+// parameter combinations — it must classify, never panic — and that the
+// paper's defaults always pass for any positive Δ1.
+func FuzzParamsValidate(f *testing.F) {
+	f.Add(int64(30*sim.Minute), int64(sim.Hour), 2, 1024, int64(34*sim.Minute))
+	f.Add(int64(0), int64(0), 0, 0, int64(0))
+	f.Add(int64(-1), int64(1), 1, 1, int64(1))
+	f.Add(int64(sim.Hour), int64(sim.Minute), 1, 1, int64(1))
+
+	f.Fuzz(func(t *testing.T, d1, d2 int64, maxRelays, heavy int, frame int64) {
+		p := Params{
+			Delta1:              sim.Time(d1),
+			Delta2:              sim.Time(d2),
+			MaxRelays:           maxRelays,
+			HeavyHMACIterations: heavy,
+			QualityFrame:        sim.Time(frame),
+		}
+		err := p.Validate()
+		valid := d1 > 0 && d2 >= d1 && maxRelays >= 1 && heavy >= 1 && frame > 0
+		if valid != (err == nil) {
+			t.Fatalf("Validate(%+v) = %v, want valid=%v", p, err, valid)
+		}
+		if d1 > 0 {
+			if err := DefaultParams(sim.Time(d1)).Validate(); err != nil {
+				// Δ2 = 2×Δ1 can overflow for absurd Δ1; that must still be
+				// classified as invalid, not panic.
+				if DefaultParams(sim.Time(d1)).Delta2 >= sim.Time(d1) {
+					t.Fatalf("defaults for Δ1=%d rejected: %v", d1, err)
+				}
+			}
+		}
+	})
+}

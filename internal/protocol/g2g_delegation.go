@@ -260,6 +260,7 @@ func (n *g2gDelegationNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gDel
 		c.raw = nil
 	}
 	n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
+	n.notifyRelayProven(*por, now)
 	return true
 }
 

@@ -312,6 +312,7 @@ func (n *g2gEpidemicNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gCusto
 		c.raw = nil
 	}
 	n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
+	n.notifyRelayProven(*por, now)
 	return true
 }
 

@@ -223,6 +223,25 @@ type Observer interface {
 	Tested(accused trace.NodeID, passed bool, at sim.Time)
 }
 
+// RelayObserver is an optional Observer extension for auditors that verify
+// the Give2Get accountability machinery itself. When the Observer of an Env
+// also implements it, the G2G protocols hand it every proof of relay they
+// validated during a handoff — the signed wire document, not a digest — so
+// an external checker can re-verify the PoR chain against the crypto
+// provider. The notification fires right after the corresponding Replicated
+// event.
+type RelayObserver interface {
+	RelayProven(por wire.Signed, at sim.Time)
+}
+
+// PoMObserver is an optional Observer extension receiving every broadcast
+// proof of misbehavior as the accuser assembled it, immediately after the
+// corresponding Detected event, so an auditor can re-validate envelope and
+// evidence.
+type PoMObserver interface {
+	MisbehaviorReported(pom wire.Signed, at sim.Time)
+}
+
 // NopObserver discards all events.
 type NopObserver struct{}
 
@@ -434,7 +453,19 @@ func (b *base) reportMisbehavior(now sim.Time, accused trace.NodeID, reason wire
 	b.blacklist[accused] = struct{}{}
 	pom := b.signed(now, body)
 	b.env.Observer.Detected(accused, reason, hash, now, ttlExpiry)
+	if po, ok := b.env.Observer.(PoMObserver); ok {
+		po.MisbehaviorReported(pom, now)
+	}
 	if b.env.Broadcast != nil {
 		b.env.Broadcast(pom)
+	}
+}
+
+// notifyRelayProven hands a validated proof of relay to the observer's
+// RelayObserver extension, if it has one. Call sites fire it right after the
+// Replicated event of the same handoff.
+func (b *base) notifyRelayProven(por wire.Signed, at sim.Time) {
+	if ro, ok := b.env.Observer.(RelayObserver); ok {
+		ro.RelayProven(por, at)
 	}
 }

@@ -69,6 +69,10 @@ type Options struct {
 	Telemetry *obs.Metrics
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// StrictAudit promotes a failed invariant audit (a Result.Audit with
+	// violations) to a run error, subject to Policy like any other failure.
+	// Runs without an audit report are unaffected.
+	StrictAudit bool
 }
 
 // Outcome is the result slot of one spec, indexed like the input specs.
@@ -153,6 +157,7 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 			}
 			start := time.Now()
 			res, err := engine.Run(cfg)
+			err = promoteAudit(err, opts.StrictAudit, res)
 			out[i].Result, out[i].Err = res, err
 			out[i].Wall = time.Since(start)
 			if err != nil && opts.Policy == FailFast {
@@ -178,6 +183,16 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 	wg.Wait()
 
 	return out, batchError(out)
+}
+
+// promoteAudit turns a failed invariant audit into the run's error when
+// StrictAudit is on; a run that already failed, or carries no audit report,
+// passes through unchanged.
+func promoteAudit(err error, strict bool, res *engine.Result) error {
+	if err != nil || !strict || res == nil || res.Audit == nil {
+		return err
+	}
+	return res.Audit.Err()
 }
 
 // batchError folds the outcomes into a deterministic *BatchError (or nil):

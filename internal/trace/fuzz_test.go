@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// FuzzParse exercises the CRAWDAD-style parser with arbitrary text. Under
-// plain `go test` only the seed corpus runs.
-func FuzzParse(f *testing.F) {
+// FuzzParseTrace exercises the CRAWDAD-style parser with arbitrary text.
+// Under plain `go test` only the seed corpus runs; `make fuzz` mutates it.
+func FuzzParseTrace(f *testing.F) {
 	f.Add("# nodes=3 name=x\n0 1 0 5\n1 2 6.5 8\n")
 	f.Add("0 1 0 5")
 	f.Add("")
