@@ -1,8 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 70
+# Benchmark-gate harness knobs (see DESIGN.md "Performance").
+BENCH_OUT ?= BENCH_after.json
+BENCH_OLD ?= BENCH_baseline.json
+BENCH_NEW ?= BENCH_after.json
+BENCH_MAX_REGRESS ?= 10
 
-.PHONY: all build test vet race bench fuzz cover check ci
+.PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover check ci
 
 all: check
 
@@ -21,10 +26,29 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./internal/obs ./internal/metrics ./internal/engine ./internal/runner ./internal/experiments
 
-# One iteration per benchmark: smoke-checks the paper-artifact benches and
-# BenchmarkTelemetryOverhead without the full measurement cost.
+# Measurement run: every benchmark once with -benchmem, converted to the
+# machine-readable BENCH_*.json interchange format by cmd/benchjson. The
+# paper-artifact benches are whole audited simulations, so one iteration is
+# already a stable measurement; BENCH_OUT defaults to BENCH_after.json so
+# `make bench && make bench-diff` gates a working tree against the committed
+# BENCH_baseline.json.
 bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 60m -run='^$$' . ./internal/... >bench_output.txt; \
+	status=$$?; cat bench_output.txt; \
+	if [ $$status -ne 0 ]; then rm -f bench_output.txt; exit $$status; fi
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o $(BENCH_OUT)
+	@rm -f bench_output.txt
+	@echo "bench: wrote $(BENCH_OUT)"
+
+# One iteration per benchmark, no measurement artifacts: smoke-checks that
+# every bench still runs. Wired into ci.
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Compare two BENCH_*.json reports; exits non-zero when allocs/op on any
+# shared benchmark regresses by more than BENCH_MAX_REGRESS percent.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff -max-regress $(BENCH_MAX_REGRESS) $(BENCH_OLD) $(BENCH_NEW)
 
 # Native fuzzing over every parser/validator entry point. Go allows one
 # -fuzz target per invocation, so each runs for FUZZTIME in turn. Plain
@@ -50,10 +74,10 @@ cover:
 check: build vet test race
 
 # ci is the documented verification entry point: build, vet, the coverage
-# floor, the race pass, a quick-mode experiment smoke run through the
-# parallel scheduler, and a fully audited honest run on each preset (the
-# auditor fails the command on any invariant violation).
-ci: build vet cover race
+# floor, the race pass, the benchmark smoke pass, a quick-mode experiment
+# smoke run through the parallel scheduler, and a fully audited honest run on
+# each preset (the auditor fails the command on any invariant violation).
+ci: build vet cover race bench-smoke
 	$(GO) run ./cmd/g2gexp -experiment secV -quick -jobs 0 >/dev/null
 	$(GO) run ./cmd/g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 10m -interval 60s -audit >/dev/null
 	$(GO) run ./cmd/g2gsim -preset cambridge06 -protocol g2g-delegation-frequency -ttl 10m -interval 60s -audit >/dev/null

@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON report, and diffs two such reports with a regression gate.
+//
+// Convert (reads benchmark output from stdin or -in):
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH.json
+//
+// Diff (exits non-zero when allocs/op regresses by more than -max-regress
+// percent on any benchmark present in both reports):
+//
+//	go run ./cmd/benchjson -diff BENCH_baseline.json BENCH_after.json -max-regress 10
+//
+// The JSON shape is stable: a header (goos/goarch/cpu) plus one record per
+// benchmark with iterations, ns/op, B/op, allocs/op, and any custom
+// ReportMetric values. It is the interchange format of `make bench`,
+// `make bench-smoke`, and the perf trajectory committed as BENCH_*.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "", "write the JSON report here (default stdout)")
+		in         = flag.String("in", "", "read benchmark output from this file (default stdin)")
+		diff       = flag.Bool("diff", false, "diff two JSON reports given as positional args")
+		maxRegress = flag.Float64("max-regress", 10, "with -diff: fail when allocs/op grows by more than this percent")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report files")
+			os.Exit(2)
+		}
+		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := Parse(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: give2get
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7DetectionTime            1  54382400140 ns/op  9088368232 B/op  94583433 allocs/op
+BenchmarkFig3Epidemic-8               1  2875354341 ns/op   2.000 tables  198249128 B/op  1221464 allocs/op
+BenchmarkHeavyHMAC      	    9337	    128227 ns/op	   7.99 MB/s
+PASS
+ok  	give2get	100.0s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	fig7 := rep.Benchmarks[0]
+	if fig7.Name != "Fig7DetectionTime" || fig7.Pkg != "give2get" {
+		t.Fatalf("bad first benchmark: %+v", fig7)
+	}
+	if fig7.AllocsPerOp != 94583433 || fig7.BytesPerOp != 9088368232 || fig7.NsPerOp != 54382400140 {
+		t.Fatalf("bad fig7 values: %+v", fig7)
+	}
+	fig3 := rep.Benchmarks[1]
+	if fig3.Name != "Fig3Epidemic" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", fig3.Name)
+	}
+	if fig3.Metrics["tables"] != 2 {
+		t.Fatalf("custom metric lost: %+v", fig3.Metrics)
+	}
+	hmac := rep.Benchmarks[2]
+	if hmac.AllocsPerOp != -1 || hmac.BytesPerOp != -1 {
+		t.Fatalf("missing -benchmem should report -1: %+v", hmac)
+	}
+	if hmac.Metrics["MB/s"] != 7.99 {
+		t.Fatalf("throughput metric lost: %+v", hmac.Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error on input without benchmarks")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r *Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 1},
+		{Name: "B", Pkg: "p", NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 1},
+		{Name: "OnlyOld", Pkg: "p", NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1},
+	}}
+	pass := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", NsPerOp: 90, AllocsPerOp: 1050, BytesPerOp: 1}, // +5%: inside gate
+		{Name: "B", Pkg: "p", NsPerOp: 90, AllocsPerOp: 200, BytesPerOp: 1},
+	}}
+	fail := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", NsPerOp: 90, AllocsPerOp: 1200, BytesPerOp: 1}, // +20%: fails
+		{Name: "B", Pkg: "p", NsPerOp: 90, AllocsPerOp: 1000, BytesPerOp: 1},
+	}}
+
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	var sb strings.Builder
+	code, err := runDiff(&sb, oldPath, writeReport(t, dir, "pass.json", pass), 10)
+	if err != nil || code != 0 {
+		t.Fatalf("pass diff: code=%d err=%v\n%s", code, err, sb.String())
+	}
+	sb.Reset()
+	code, err = runDiff(&sb, oldPath, writeReport(t, dir, "fail.json", fail), 10)
+	if err != nil || code != 1 {
+		t.Fatalf("fail diff: code=%d err=%v\n%s", code, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("diff output does not mark the regression:\n%s", sb.String())
+	}
+}
+
+func TestDiffNoCommon(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", &Report{Benchmarks: []Benchmark{{Name: "A", Pkg: "p"}}})
+	b := writeReport(t, dir, "b.json", &Report{Benchmarks: []Benchmark{{Name: "B", Pkg: "p"}}})
+	if _, err := runDiff(&strings.Builder{}, a, b, 10); err == nil {
+		t.Fatal("want error when no benchmarks overlap")
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result row.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped
+	// (BenchmarkFig7DetectionTime-8 → Fig7DetectionTime).
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in.
+	Pkg        string  `json:"pkg"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the run lacked -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (unit → value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full parsed benchmark run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output and collects every benchmark line.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine decodes one result row:
+//
+//	BenchmarkName-8   12   345 ns/op   67 B/op   8 allocs/op   1.5 widgets
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runDiff compares two reports benchmark by benchmark and returns exit code 1
+// when any benchmark's allocs/op grew by more than maxRegress percent.
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (int, error) {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Pkg+"."+b.Name] = b
+	}
+	keys := make([]string, 0, len(newRep.Benchmarks))
+	newBy := map[string]Benchmark{}
+	for _, b := range newRep.Benchmarks {
+		k := b.Pkg + "." + b.Name
+		if _, ok := oldBy[k]; ok {
+			keys = append(keys, k)
+			newBy[k] = b
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	failed := false
+	fmt.Fprintf(w, "%-44s %14s %14s %12s\n", "benchmark", "ns/op Δ", "allocs/op Δ", "gate")
+	for _, k := range keys {
+		o, n := oldBy[k], newBy[k]
+		nsDelta := pctDelta(o.NsPerOp, n.NsPerOp)
+		allocDelta := pctDelta(o.AllocsPerOp, n.AllocsPerOp)
+		gate := "ok"
+		if o.AllocsPerOp >= 0 && n.AllocsPerOp >= 0 && allocDelta > maxRegress {
+			gate = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-44s %+13.1f%% %+13.1f%% %12s\n", n.Name, nsDelta, allocDelta, gate)
+	}
+	if failed {
+		fmt.Fprintf(w, "benchjson: allocs/op regression beyond %.0f%% detected\n", maxRegress)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func pctDelta(oldV, newV float64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}

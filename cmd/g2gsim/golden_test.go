@@ -34,6 +34,10 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // TestGolden pins the CLI's observable output byte for byte. Every field
 // printed here is virtual-time deterministic (wall-clock metrics never reach
 // stdout), so any diff is a behavior change in the stack below, not noise.
+// The audited cases pin the canonical event-stream digest of the streaming
+// scheduler; internal/engine's TestAuditDifferentialScheduling separately
+// proves that digest identical to the legacy pre-scheduled path, so together
+// they anchor both schedulers to the committed goldens.
 func TestGolden(t *testing.T) {
 	cases := []struct {
 		name string

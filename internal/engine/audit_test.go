@@ -201,3 +201,68 @@ func TestAuditDifferentialCrypto(t *testing.T) {
 		run(t, protocol.G2GDelegationFrequency, CryptoReal, protocol.Honest)
 	})
 }
+
+// TestAuditDifferentialScheduling is the in-process differential oracle for
+// the streaming event-queue rewrite: the same audited quick run executed
+// with the legacy pre-scheduled closures and with streaming typed events
+// must produce byte-identical audit digests, deliveries, and detections.
+// Any drift in same-instant event ordering — the subtle failure mode of
+// lazy scheduling — shows up here as a digest mismatch.
+func TestAuditDifferentialScheduling(t *testing.T) {
+	cases := []struct {
+		name      string
+		kind      protocol.Kind
+		deviation protocol.Deviation
+	}{
+		{"epidemic", protocol.Epidemic, protocol.Honest},
+		{"g2g-epidemic", protocol.G2GEpidemic, protocol.Honest},
+		{"g2g-epidemic-droppers", protocol.G2GEpidemic, protocol.Dropper},
+		{"g2g-delegation-frequency", protocol.G2GDelegationFrequency, protocol.Honest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(legacy bool) *invariant.Report {
+				cfg := auditConfig(t, tc.kind)
+				cfg.legacyScheduling = legacy
+				if tc.deviation != protocol.Honest {
+					cfg.Deviants = []trace.NodeID{2, 7, 10}
+					cfg.Deviation = tc.deviation
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return mustAuditClean(t, res)
+			}
+			legacy := run(true)
+			streaming := run(false)
+			if legacy.Digest != streaming.Digest {
+				t.Errorf("audit digests differ: legacy=%s streaming=%s",
+					legacy.Digest, streaming.Digest)
+			}
+			if legacy.Events != streaming.Events {
+				t.Errorf("event counts differ: legacy=%d streaming=%d",
+					legacy.Events, streaming.Events)
+			}
+			if len(legacy.Deliveries) != len(streaming.Deliveries) {
+				t.Fatalf("delivery sets differ: legacy=%d streaming=%d",
+					len(legacy.Deliveries), len(streaming.Deliveries))
+			}
+			for i := range legacy.Deliveries {
+				if legacy.Deliveries[i] != streaming.Deliveries[i] {
+					t.Fatalf("delivery %d differs", i)
+				}
+			}
+			if len(legacy.Detections) != len(streaming.Detections) {
+				t.Fatalf("detection counts differ: legacy=%d streaming=%d",
+					len(legacy.Detections), len(streaming.Detections))
+			}
+			for i := range legacy.Detections {
+				l, s := legacy.Detections[i], streaming.Detections[i]
+				if l.Accused != s.Accused || l.Reason != s.Reason || l.At != s.At {
+					t.Fatalf("detection %d differs: legacy=%+v streaming=%+v", i, l, s)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"time"
 
 	"give2get/internal/g2gcrypto"
@@ -113,6 +114,13 @@ type Config struct {
 	// Communities overrides k-clique detection (mostly for tests); when nil
 	// and OnlyOutsiders is set, communities are detected on the trace.
 	Communities *kclique.Communities
+
+	// legacyScheduling pre-materializes every contact and workload event as
+	// a closure before Run, the strategy the engine used before streaming
+	// scheduling. It exists only so in-package tests can differentially
+	// verify that streaming reproduces the exact same event order (identical
+	// audit digests); it is not reachable from outside the package.
+	legacyScheduling bool
 }
 
 // Validate checks the configuration.
@@ -201,13 +209,47 @@ type engine struct {
 
 	// active tracks currently overlapping contacts per pair.
 	active map[trace.PairKey]int
-	// neighbors caches each node's current radio neighborhood.
-	neighbors []map[trace.NodeID]struct{}
+	// neighbors caches each node's current radio neighborhood as sorted
+	// slices: O(log n) membership, in-place insert/remove, and — unlike the
+	// map+sort it replaced — allocation-free in-order iteration during
+	// cascades.
+	neighbors [][]trace.NodeID
+	// cascadeBuf is the reusable BFS queue for cascadeFrom.
+	cascadeBuf []trace.NodeID
+
+	// contacts aliases the trace's sorted contact slice; the streaming
+	// scheduler walks it with a cursor instead of enqueueing every interval
+	// up front, keeping the event queue O(active contacts).
+	contacts []trace.Contact
+	// gens is the pre-drawn Poisson workload (drawing everything up front
+	// preserves the seeded RNG draw order the closures used to lock in).
+	gens []workloadGen
 
 	workloadRNG *sim.RNG
 	startAt     sim.Time
 	endAt       sim.Time
 }
+
+// workloadGen is one pre-drawn message generation.
+type workloadGen struct {
+	at       sim.Time
+	src, dst trace.NodeID
+	body     []byte
+}
+
+// Typed event opcodes dispatched by (*engine).HandleEvent.
+const (
+	opContactStart = iota + 1
+	opContactEnd
+	opWorkloadGen
+)
+
+// Same-instant priority bands. Contact events use 2*index (start) and
+// 2*index+1 (end), so lazily streamed contacts fire in the exact order the
+// old pre-scheduled closures did; the workload band sits above every
+// possible contact priority and below sim.PriNormal (probes, memory ticks),
+// again matching the old schedule-order-derived sequence.
+const priWorkloadBase int64 = 1 << 41
 
 func newEngine(cfg Config) (*engine, error) {
 	if cfg.PayloadBytes == 0 {
@@ -270,11 +312,9 @@ func newEngine(cfg Config) (*engine, error) {
 		metrics:     m,
 		auditor:     auditor,
 		active:      make(map[trace.PairKey]int),
-		neighbors:   make([]map[trace.NodeID]struct{}, population),
+		neighbors:   make([][]trace.NodeID, population),
+		contacts:    cfg.Trace.Contacts(),
 		workloadRNG: sim.StreamFromSeed(cfg.Seed, "workload"),
-	}
-	for i := range e.neighbors {
-		e.neighbors[i] = make(map[trace.NodeID]struct{})
 	}
 	env.Broadcast = e.broadcast
 
@@ -344,11 +384,20 @@ func (e *engine) run() (*Result, error) {
 	s := sim.New()
 	s.SetStats(&e.metrics.Sim)
 
-	if err := e.scheduleContacts(s); err != nil {
-		return nil, err
-	}
-	if err := e.scheduleWorkload(s); err != nil {
-		return nil, err
+	if e.cfg.legacyScheduling {
+		if err := e.scheduleContactsLegacy(s); err != nil {
+			return nil, err
+		}
+		if err := e.scheduleWorkloadLegacy(s); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := e.scheduleContacts(s); err != nil {
+			return nil, err
+		}
+		if err := e.scheduleWorkload(s); err != nil {
+			return nil, err
+		}
 	}
 	if err := e.scheduleMemorySampling(s); err != nil {
 		return nil, err
@@ -491,26 +540,137 @@ func (e *engine) scheduleMemorySampling(s *sim.Simulator) error {
 	return err
 }
 
-// scheduleContacts turns the trace's contact intervals into start/end
-// events within [startAt, endAt).
+// clampContact clips a contact to the run interval [startAt, endAt].
+func (e *engine) clampContact(c trace.Contact) (start, end sim.Time) {
+	start, end = c.Start, c.End
+	if start < e.startAt {
+		start = e.startAt
+	}
+	if end > e.endAt {
+		end = e.endAt
+	}
+	return start, end
+}
+
+// scheduleContacts seeds the streaming contact scheduler: only the first
+// eligible start event enters the queue; each start, as it fires, enqueues
+// its own end and the next start behind the cursor. The trace is sorted by
+// Start, so clamped starts are non-decreasing and a chained start is never
+// in the past; the per-contact priority band reproduces the order a full
+// up-front schedule would have produced.
 func (e *engine) scheduleContacts(s *sim.Simulator) error {
-	for _, c := range e.cfg.Trace.Contacts() {
+	return e.scheduleNextContactStart(s, 0)
+}
+
+// scheduleNextContactStart advances the contact cursor to the next interval
+// overlapping the run and enqueues its start event. Contacts whose clamped
+// interval is empty (zero-length after clipping) are skipped entirely rather
+// than enqueued as no-op start/end pairs.
+func (e *engine) scheduleNextContactStart(s *sim.Simulator, from int) error {
+	for i := from; i < len(e.contacts); i++ {
+		c := e.contacts[i]
+		if c.Start >= e.endAt {
+			return nil // sorted by Start: nothing later can overlap
+		}
+		start, end := e.clampContact(c)
+		if start >= end {
+			continue
+		}
+		return s.ScheduleEvent(sim.Event{
+			At:  start,
+			Pri: 2 * int64(i),
+			H:   e,
+			Op:  opContactStart,
+			P:   uint64(i),
+		})
+	}
+	return nil
+}
+
+// scheduleWorkload draws the Poisson message generation process up front —
+// the draw order is the seeded RNG contract — and streams the resulting
+// generations one typed event at a time.
+func (e *engine) scheduleWorkload(s *sim.Simulator) error {
+	genEnd := e.cfg.WindowTo - e.cfg.GenerationQuiet
+	population := e.cfg.Trace.Nodes()
+	at := e.cfg.WindowFrom + e.workloadRNG.Exp(e.cfg.MessageInterval)
+	for at < genEnd {
+		src := trace.NodeID(e.workloadRNG.Intn(population))
+		dst := trace.NodeID(e.workloadRNG.Intn(population))
+		for dst == src {
+			dst = trace.NodeID(e.workloadRNG.Intn(population))
+		}
+		body := make([]byte, e.cfg.PayloadBytes)
+		e.workloadRNG.Bytes(body)
+		e.gens = append(e.gens, workloadGen{at: at, src: src, dst: dst, body: body})
+		at += e.workloadRNG.Exp(e.cfg.MessageInterval)
+	}
+	return e.scheduleNextGen(s, 0)
+}
+
+func (e *engine) scheduleNextGen(s *sim.Simulator, idx int) error {
+	if idx >= len(e.gens) {
+		return nil
+	}
+	return s.ScheduleEvent(sim.Event{
+		At:  e.gens[idx].at,
+		Pri: priWorkloadBase + int64(idx),
+		H:   e,
+		Op:  opWorkloadGen,
+		P:   uint64(idx),
+	})
+}
+
+// HandleEvent dispatches the engine's typed events. Chained scheduling can
+// only fail on a past timestamp, which the cursor invariants rule out, so a
+// failure is a programmer error.
+func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
+	switch ev.Op {
+	case opContactStart:
+		i := int(ev.P)
+		c := e.contacts[i]
+		_, end := e.clampContact(c)
+		if err := s.ScheduleEvent(sim.Event{
+			At:  end,
+			Pri: 2*int64(i) + 1,
+			H:   e,
+			Op:  opContactEnd,
+			A:   int32(c.A),
+			B:   int32(c.B),
+		}); err != nil {
+			panic(fmt.Sprintf("engine: contact end: %v", err))
+		}
+		if err := e.scheduleNextContactStart(s, i+1); err != nil {
+			panic(fmt.Sprintf("engine: contact cursor: %v", err))
+		}
+		e.contactStart(s.Now(), c.A, c.B)
+	case opContactEnd:
+		e.contactEnd(trace.NodeID(ev.A), trace.NodeID(ev.B))
+	case opWorkloadGen:
+		i := int(ev.P)
+		g := e.gens[i]
+		e.gens[i].body = nil // the node owns the payload from here on
+		if err := e.scheduleNextGen(s, i+1); err != nil {
+			panic(fmt.Sprintf("engine: workload cursor: %v", err))
+		}
+		e.generate(s.Now(), g.src, g.dst, g.body)
+	}
+}
+
+// scheduleContactsLegacy pre-materializes two closures per contact, exactly
+// as the engine did before streaming scheduling. Test-only: the differential
+// oracle for the streaming rewrite.
+func (e *engine) scheduleContactsLegacy(s *sim.Simulator) error {
+	for _, c := range e.contacts {
 		if c.End <= e.startAt || c.Start >= e.endAt {
 			continue
 		}
 		c := c
-		start := c.Start
-		if start < e.startAt {
-			start = e.startAt
-		}
+		start, end := e.clampContact(c)
 		if _, err := s.Schedule(start, func(s *sim.Simulator) {
 			e.contactStart(s.Now(), c.A, c.B)
 		}); err != nil {
 			return err
-		}
-		end := c.End
-		if end > e.endAt {
-			end = e.endAt
 		}
 		if _, err := s.Schedule(end, func(*sim.Simulator) {
 			e.contactEnd(c.A, c.B)
@@ -521,8 +681,9 @@ func (e *engine) scheduleContacts(s *sim.Simulator) error {
 	return nil
 }
 
-// scheduleWorkload draws the Poisson message generation process.
-func (e *engine) scheduleWorkload(s *sim.Simulator) error {
+// scheduleWorkloadLegacy is the pre-streaming closure-per-generation
+// workload scheduler. Test-only, paired with scheduleContactsLegacy.
+func (e *engine) scheduleWorkloadLegacy(s *sim.Simulator) error {
 	genEnd := e.cfg.WindowTo - e.cfg.GenerationQuiet
 	population := e.cfg.Trace.Nodes()
 	at := e.cfg.WindowFrom + e.workloadRNG.Exp(e.cfg.MessageInterval)
@@ -562,8 +723,8 @@ func (e *engine) contactStart(now sim.Time, a, b trace.NodeID) {
 	key := trace.MakePairKey(a, b)
 	e.active[key]++
 	if e.active[key] == 1 {
-		e.neighbors[a][b] = struct{}{}
-		e.neighbors[b][a] = struct{}{}
+		e.neighbors[a] = insertNeighbor(e.neighbors[a], b)
+		e.neighbors[b] = insertNeighbor(e.neighbors[b], a)
 	}
 	if now < e.cfg.WindowFrom {
 		return // warm-up: quality bookkeeping only
@@ -582,8 +743,8 @@ func (e *engine) contactEnd(a, b trace.NodeID) {
 	e.active[key]--
 	if e.active[key] == 0 {
 		delete(e.active, key)
-		delete(e.neighbors[a], b)
-		delete(e.neighbors[b], a)
+		e.neighbors[a] = removeNeighbor(e.neighbors[a], b)
+		e.neighbors[b] = removeNeighbor(e.neighbors[b], a)
 	}
 }
 
@@ -613,33 +774,48 @@ func (e *engine) cascadeFrom(now sim.Time, origin trace.NodeID) {
 		return
 	}
 	e.metrics.Engine.NoteCascade()
-	queue := []trace.NodeID{origin}
+	// The BFS queue is reused across cascades; head indexes into it instead
+	// of re-slicing so append can keep using the same backing array.
+	queue := append(e.cascadeBuf[:0], origin)
+	head := 0
 	// The budget bounds pathological cascades; seen-sets guarantee natural
 	// termination long before it is hit.
 	budget := 4 * len(e.nodes) * len(e.nodes)
-	for len(queue) > 0 && budget > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, peer := range sortedNeighbors(e.neighbors[n]) {
+	for head < len(queue) && budget > 0 {
+		n := queue[head]
+		head++
+		// Neighbor slices are already sorted and are not mutated during a
+		// cascade (contact changes arrive as separate events), so this
+		// iteration is stable and allocation-free.
+		for _, peer := range e.neighbors[n] {
 			budget--
 			if e.sessionPair(now, n, peer) {
 				queue = append(queue, peer)
 			}
 		}
 	}
+	e.cascadeBuf = queue
 }
 
-func sortedNeighbors(set map[trace.NodeID]struct{}) []trace.NodeID {
-	out := make([]trace.NodeID, 0, len(set))
-	for n := range set {
-		out = append(out, n)
+// insertNeighbor adds v to a sorted neighbor list, keeping it sorted.
+func insertNeighbor(list []trace.NodeID, v trace.NodeID) []trace.NodeID {
+	i, found := slices.BinarySearch(list, v)
+	if found {
+		return list // guarded by the active-contact refcount
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
+}
+
+// removeNeighbor deletes v from a sorted neighbor list in place.
+func removeNeighbor(list []trace.NodeID, v trace.NodeID) []trace.NodeID {
+	i, found := slices.BinarySearch(list, v)
+	if !found {
+		return list
 	}
-	return out
+	return append(list[:i], list[i+1:]...)
 }
 
 // GenerateTrace is a convenience for experiments: build a preset's trace.

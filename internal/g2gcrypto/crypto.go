@@ -47,6 +47,8 @@ type Identity interface {
 	// Node returns the identity's owner.
 	Node() trace.NodeID
 	// Sign produces a signature over data with the node's private key.
+	// Implementations must not retain data: callers may reuse the slice
+	// (wire.Scratch passes a shared encode buffer).
 	Sign(data []byte) Signature
 	// Open decrypts a blob sealed for this node with SealFor.
 	Open(box []byte) ([]byte, error)
@@ -62,7 +64,8 @@ type System interface {
 	Nodes() int
 	// Identity returns node n's private identity.
 	Identity(n trace.NodeID) (Identity, error)
-	// Verify checks that sig is signer's signature over data.
+	// Verify checks that sig is signer's signature over data. Like
+	// Identity.Sign, implementations must not retain data.
 	Verify(signer trace.NodeID, data []byte, sig Signature) bool
 	// SealFor encrypts plaintext so that only dest can open it. The sealed
 	// blob hides the plaintext (including the sender identity embedded in
@@ -95,20 +98,55 @@ func HeavyHMAC(message, seed []byte, iterations int) Digest {
 	if iterations < 1 {
 		iterations = 1
 	}
-	mac := hmac.New(sha256.New, seed)
-	mac.Write(message)
-	sum := mac.Sum(nil)
+	// Hand-rolled HMAC — H(K^opad ‖ H(K^ipad ‖ m)) with two SHA-256 states
+	// reset each round — instead of hmac.New per round: the iteration loop
+	// is the single hottest allocation site in a test phase, and the keyed
+	// states here are rebuilt from the previous round's sum, which the
+	// stock package can only express by reallocating.
+	inner, outer := sha256.New(), sha256.New()
+	var ipad, opad [sha256.BlockSize]byte
+	var sum [sha256.Size]byte
+	hmacKeyPads(seed, &ipad, &opad)
+	inner.Write(ipad[:])
+	inner.Write(message)
+	inner.Sum(sum[:0])
+	outer.Write(opad[:])
+	outer.Write(sum[:])
+	outer.Sum(sum[:0])
 	var round [8]byte
 	for i := 1; i < iterations; i++ {
 		binary.LittleEndian.PutUint64(round[:], uint64(i))
-		mac := hmac.New(sha256.New, sum)
-		mac.Write(round[:])
-		mac.Write(message)
-		sum = mac.Sum(nil)
+		hmacKeyPads(sum[:], &ipad, &opad)
+		inner.Reset()
+		inner.Write(ipad[:])
+		inner.Write(round[:])
+		inner.Write(message)
+		inner.Sum(sum[:0])
+		outer.Reset()
+		outer.Write(opad[:])
+		outer.Write(sum[:])
+		outer.Sum(sum[:0])
 	}
 	var out Digest
-	copy(out[:], sum)
+	copy(out[:], sum[:])
 	return out
+}
+
+// hmacKeyPads derives the HMAC inner/outer pad blocks from a key, exactly as
+// crypto/hmac does (keys longer than the block size are hashed first), so
+// the hand-rolled loop above stays bit-compatible with hmac.New.
+func hmacKeyPads(key []byte, ipad, opad *[sha256.BlockSize]byte) {
+	var kb [sha256.BlockSize]byte
+	if len(key) > len(kb) {
+		h := sha256.Sum256(key)
+		copy(kb[:], h[:])
+	} else {
+		copy(kb[:], key)
+	}
+	for i := range kb {
+		ipad[i] = kb[i] ^ 0x36
+		opad[i] = kb[i] ^ 0x5c
+	}
 }
 
 // VerifyHeavyHMAC recomputes the challenge response and compares in constant

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"give2get/internal/trace"
 )
@@ -15,6 +16,12 @@ import (
 // about what the protocol can observe — signatures bind signer and payload,
 // tampering breaks verification, sealed blobs only open at the destination —
 // while costing roughly a microsecond per operation.
+//
+// The keyed HMAC states below are built once per identity and Reset()
+// between uses, so steady-state sign/verify/seal/open perform no setup
+// allocations. That makes the system single-threaded by construction, which
+// matches how engines use it: one System per run, never shared across
+// goroutines (sweeps give every parallel run its own System).
 type fastSystem struct {
 	master     [32]byte
 	identities []*fastIdentity
@@ -24,7 +31,32 @@ type fastIdentity struct {
 	node   trace.NodeID
 	secret [32]byte
 	system *fastSystem
+
+	// signMAC is the persistent HMAC(secret) state for Sign/Verify;
+	// verifyScratch receives recomputed signatures during Verify so
+	// verification never allocates.
+	signMAC       hash.Hash
+	verifyScratch []byte
+	// sealKey/sealMAC serve SealFor (any sender sealing to this node) and
+	// Open (this node unsealing); both directions key by the destination.
+	sealKey [32]byte
+	sealMAC hash.Hash
+	// Keystream/trailer scratch. Living on the (already heap-resident)
+	// identity rather than the stack keeps the byte slices handed to the
+	// hash.Hash interface from escaping — and thus allocating — per call.
+	ksCounter [8]byte
+	ksBlock   [32]byte
+	trailer   [32]byte
+	// sigArena carves returned signatures out of chunked buffers, amortizing
+	// the per-signature allocation across sigArenaChunk/sha256.Size calls.
+	// Signatures are immutable once returned (callers copy, never append —
+	// the full-capacity slice expression below forces a reallocation if one
+	// ever did), so a chunk pinned by a retained signature is harmless.
+	sigArena []byte
 }
+
+// sigArenaChunk is the signature arena block size: 32 signatures per alloc.
+const sigArenaChunk = 32 * sha256.Size
 
 var (
 	_ System   = (*fastSystem)(nil)
@@ -41,11 +73,16 @@ func NewFast(nodes int, seed int64) (System, error) {
 	binary.LittleEndian.PutUint64(seedBytes[:], uint64(seed))
 	s.master = sha256.Sum256(append([]byte("g2g-fast-master:"), seedBytes[:]...))
 	for n := 0; n < nodes; n++ {
-		s.identities[n] = &fastIdentity{
-			node:   trace.NodeID(n),
-			secret: s.nodeSecret(trace.NodeID(n), "sign"),
-			system: s,
+		id := &fastIdentity{
+			node:    trace.NodeID(n),
+			secret:  s.nodeSecret(trace.NodeID(n), "sign"),
+			sealKey: s.nodeSecret(trace.NodeID(n), "seal"),
+			system:  s,
 		}
+		id.signMAC = hmac.New(sha256.New, id.secret[:])
+		id.sealMAC = hmac.New(sha256.New, id.sealKey[:])
+		id.verifyScratch = make([]byte, 0, sha256.Size)
+		s.identities[n] = id
 	}
 	return s, nil
 }
@@ -75,8 +112,11 @@ func (s *fastSystem) Verify(signer trace.NodeID, data []byte, sig Signature) boo
 	if int(signer) < 0 || int(signer) >= len(s.identities) {
 		return false
 	}
-	want := s.identities[signer].Sign(data)
-	return hmac.Equal(want, sig)
+	id := s.identities[signer]
+	id.signMAC.Reset()
+	id.signMAC.Write(data)
+	id.verifyScratch = id.signMAC.Sum(id.verifyScratch[:0])
+	return hmac.Equal(id.verifyScratch, sig)
 }
 
 // SealFor "encrypts" with a destination-keyed HMAC stream cipher plus a MAC
@@ -87,49 +127,55 @@ func (s *fastSystem) SealFor(dest trace.NodeID, plaintext []byte) ([]byte, error
 	if int(dest) < 0 || int(dest) >= len(s.identities) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, dest)
 	}
-	key := s.nodeSecret(dest, "seal")
+	id := s.identities[dest]
 	out := make([]byte, len(plaintext)+sha256.Size)
-	xorKeystream(out[:len(plaintext)], plaintext, key)
-	mac := hmac.New(sha256.New, key[:])
-	mac.Write(plaintext)
-	copy(out[len(plaintext):], mac.Sum(nil))
+	id.xorKeystream(out[:len(plaintext)], plaintext)
+	id.sealMAC.Reset()
+	id.sealMAC.Write(plaintext)
+	id.sealMAC.Sum(out[len(plaintext):len(plaintext)])
 	return out, nil
 }
 
 func (id *fastIdentity) Node() trace.NodeID { return id.node }
 
 func (id *fastIdentity) Sign(data []byte) Signature {
-	mac := hmac.New(sha256.New, id.secret[:])
-	mac.Write(data)
-	return mac.Sum(nil)
+	id.signMAC.Reset()
+	id.signMAC.Write(data)
+	if cap(id.sigArena)-len(id.sigArena) < sha256.Size {
+		id.sigArena = make([]byte, 0, sigArenaChunk)
+	}
+	start := len(id.sigArena)
+	id.sigArena = id.signMAC.Sum(id.sigArena)
+	return Signature(id.sigArena[start:len(id.sigArena):len(id.sigArena)])
 }
 
 func (id *fastIdentity) Open(box []byte) ([]byte, error) {
 	if len(box) < sha256.Size {
 		return nil, ErrBadCiphertext
 	}
-	key := id.system.nodeSecret(id.node, "seal")
 	body := box[:len(box)-sha256.Size]
 	plaintext := make([]byte, len(body))
-	xorKeystream(plaintext, body, key)
-	mac := hmac.New(sha256.New, key[:])
-	mac.Write(plaintext)
-	if !hmac.Equal(mac.Sum(nil), box[len(body):]) {
+	id.xorKeystream(plaintext, body)
+	id.sealMAC.Reset()
+	id.sealMAC.Write(plaintext)
+	id.sealMAC.Sum(id.trailer[:0])
+	if !hmac.Equal(id.trailer[:], box[len(body):]) {
 		return nil, ErrBadCiphertext
 	}
 	return plaintext, nil
 }
 
-func xorKeystream(dst, src []byte, key [32]byte) {
-	var counter [8]byte
-	var block [32]byte
+// xorKeystream XORs src into dst under the identity's seal-keyed MAC block
+// stream, resetting the shared state per block instead of rebuilding it.
+func (id *fastIdentity) xorKeystream(dst, src []byte) {
+	mac := id.sealMAC
 	for off := 0; off < len(src); off += sha256.Size {
-		binary.LittleEndian.PutUint64(counter[:], uint64(off))
-		mac := hmac.New(sha256.New, key[:])
-		mac.Write(counter[:])
-		copy(block[:], mac.Sum(nil))
+		binary.LittleEndian.PutUint64(id.ksCounter[:], uint64(off))
+		mac.Reset()
+		mac.Write(id.ksCounter[:])
+		mac.Sum(id.ksBlock[:0])
 		for i := 0; i < sha256.Size && off+i < len(src); i++ {
-			dst[off+i] = src[off+i] ^ block[i]
+			dst[off+i] = src[off+i] ^ id.ksBlock[i]
 		}
 	}
 }

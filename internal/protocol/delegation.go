@@ -93,7 +93,7 @@ func (n *delegationNode) RunSession(now sim.Time, peer Node) (bool, error) {
 	}
 	n.expire(now)
 	transferred := false
-	for _, h := range sortedDigests(n.buffer) {
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
 		c := n.buffer[h]
 		if _, dup := other.seen[h]; dup {
 			continue

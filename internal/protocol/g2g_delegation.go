@@ -143,7 +143,7 @@ func (n *g2gDelegationNode) RunSession(now sim.Time, peer Node) (bool, error) {
 
 func (n *g2gDelegationNode) relayPhase(now sim.Time, other *g2gDelegationNode) bool {
 	transferred := false
-	for _, h := range sortedDigests(n.custody) {
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
 		c := n.custody[h]
 		if !n.eligibleToRelay(now, c, other.ID()) {
 			continue
@@ -391,7 +391,7 @@ func (n *g2gDelegationNode) auditAttachments(now sim.Time, h g2gcrypto.Digest, g
 // --- test by the sender (Section VI-B) ---
 
 func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
-	for _, h := range sortedDigests(n.tests) {
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
 		if !ok {

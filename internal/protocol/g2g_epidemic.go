@@ -116,7 +116,7 @@ func (n *g2gEpidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
 // --- test phase (Fig. 2) ---
 
 func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
-	for _, h := range sortedDigests(n.tests) {
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
 		if !ok {
@@ -223,7 +223,7 @@ func (n *g2gEpidemicNode) handlePORChallenge(now sim.Time, challenge wire.Signed
 
 func (n *g2gEpidemicNode) relayPhase(now sim.Time, other *g2gEpidemicNode) bool {
 	transferred := false
-	for _, h := range sortedDigests(n.custody) {
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
 		c := n.custody[h]
 		if !n.eligibleToRelay(now, c, other.ID()) {
 			continue

@@ -2,22 +2,30 @@ package protocol
 
 import (
 	"bytes"
-	"sort"
+	"slices"
 
 	"give2get/internal/g2gcrypto"
 )
 
-// sortedDigests returns the map's keys in a stable (byte-wise) order.
-// Protocol loops iterate buffers through this helper so that whole
-// simulation runs are reproducible from a single seed: Go map iteration
-// order would otherwise leak nondeterminism into RNG consumption.
-func sortedDigests[T any](m map[g2gcrypto.Digest]T) []g2gcrypto.Digest {
-	keys := make([]g2gcrypto.Digest, 0, len(m))
+// sortedDigestsInto collects the map's keys in a stable (byte-wise) order
+// into buf's backing array, growing it as needed, and stores the grown
+// capacity back through buf for the next call. Protocol loops iterate
+// buffers through this helper so that whole simulation runs are reproducible
+// from a single seed: Go map iteration order would otherwise leak
+// nondeterminism into RNG consumption.
+//
+// The returned slice aliases *buf and is only valid until the owner's next
+// call, which is safe under the session discipline: a node never re-enters
+// its own buffer iteration while one is in progress (nested calls during a
+// session run on the peer's base, which owns its own scratch).
+func sortedDigestsInto[T any](buf *[]g2gcrypto.Digest, m map[g2gcrypto.Digest]T) []g2gcrypto.Digest {
+	keys := (*buf)[:0]
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	slices.SortFunc(keys, func(a, b g2gcrypto.Digest) int {
+		return bytes.Compare(a[:], b[:])
 	})
+	*buf = keys
 	return keys
 }

@@ -278,6 +278,11 @@ type Env struct {
 	// nothing at the cost of a pointer test.
 	stats  *obs.ProtocolStats
 	crypto *obs.CryptoStats
+
+	// wireScratch is the run-wide signing-input buffer. An Env serves
+	// exactly one single-threaded run, so one scratch is enough for every
+	// node's sign/verify traffic.
+	wireScratch wire.Scratch
 }
 
 // SetMetrics attaches the run's telemetry registry to the environment and
@@ -364,13 +369,18 @@ type base struct {
 	self      g2gcrypto.Identity
 	behavior  Behavior
 	blacklist map[trace.NodeID]struct{}
+	// digestScratch backs this node's sortedDigestsInto iterations; see
+	// order.go for the aliasing discipline.
+	digestScratch []g2gcrypto.Digest
 }
 
-// signed wraps wire.Sign, accounting for the signature the node spends and
-// the signed message's kind and encoded size in the telemetry.
+// signed wraps signing, accounting for the signature the node spends and
+// the signed message's kind and encoded size in the telemetry. The signing
+// input is encoded into the Env's shared scratch buffer (runs are
+// single-threaded, and providers never retain the input).
 func (b *base) signed(at sim.Time, body wire.Body) wire.Signed {
 	b.noteSign()
-	s := wire.Sign(b.self, at, body)
+	s := b.env.wireScratch.Sign(b.self, at, body)
 	b.env.stats.NoteWire(uint8(body.Kind()), wire.SizeOf(s))
 	return s
 }
@@ -398,7 +408,7 @@ func (b *base) noteQualityUpdate()     { b.env.stats.NoteQualityUpdate() }
 // operation.
 func (b *base) verified(s wire.Signed) bool {
 	b.noteVerify()
-	return s.Verify(b.env.Sys)
+	return b.env.wireScratch.Verify(b.env.Sys, s)
 }
 
 func newBase(env *Env, self g2gcrypto.Identity, behavior Behavior) base {

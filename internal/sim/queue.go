@@ -1,81 +1,184 @@
 package sim
 
-// Event is a unit of work scheduled to run at a virtual instant. Events with
-// equal timestamps run in the order they were scheduled (FIFO), which keeps
-// runs deterministic.
+// Handler consumes typed events. Implementations are long-lived objects (the
+// trace engine, a workload generator), so scheduling a typed event stores a
+// pre-existing pointer in the queue: the hot path never allocates per event.
+type Handler interface {
+	// HandleEvent runs the event body. It receives the owning simulator so
+	// it can schedule follow-up events, and the event itself for its typed
+	// arguments.
+	HandleEvent(s *Simulator, ev Event)
+}
+
+// Event is a unit of work scheduled to run at a virtual instant. Events are
+// stored in the queue BY VALUE: pushing and popping moves small structs
+// around a slice-backed heap instead of chasing (and allocating) per-event
+// pointers.
+//
+// Events sharing an instant fire in ascending (Pri, scheduling order). The
+// Pri band lets producers that discover events lazily — the streaming
+// contact scheduler — keep the exact same-instant ordering they would have
+// had when pre-scheduling everything up front, which is what keeps audit
+// digests stable across scheduling strategies.
 type Event struct {
 	// At is the virtual instant the event fires.
 	At Time
-	// Run is the event body. It receives the owning simulator so it can
-	// schedule follow-up events.
-	Run func(s *Simulator)
+	// Pri orders events that share an instant; lower fires first. Closure
+	// events scheduled with Schedule/After use PriNormal. Typed producers
+	// pick bands below (or above) it.
+	Pri int64
+	// H is the typed event handler. For closure events it is the internal
+	// func adapter.
+	H Handler
+	// Op is a handler-defined opcode discriminating event types.
+	Op uint32
+	// A and B are small integer arguments (node ids, indexes).
+	A, B int32
+	// P is an extra integer payload (a cursor position, an encoded time).
+	P uint64
+	// Data is an optional pointer-shaped payload. Pointers and func values
+	// convert to the interface without allocating.
+	Data any
 
-	seq int64 // scheduling order, breaks timestamp ties deterministically
-	pos int   // heap index, -1 once popped or cancelled
+	seq  int64 // scheduling order, breaks (At, Pri) ties deterministically
+	slot int32 // handle-table index for cancellable events, -1 otherwise
 }
 
-// Cancelled reports whether the event was removed from the queue before
-// firing.
-func (e *Event) Cancelled() bool { return e.pos == -1 && e.seq >= 0 }
+// PriNormal is the priority band of Schedule/After closure events. Typed
+// events with smaller Pri fire before all closure events at the same
+// instant; ties within a band fall back to scheduling order.
+const PriNormal int64 = 1 << 62
 
-// eventQueue is a binary min-heap ordered by (At, seq). A hand-rolled heap
-// (rather than container/heap) avoids interface boxing on the hot path: the
-// trace replays push hundreds of thousands of events per run.
+// EventRef is a cancellation handle for an event scheduled with Schedule or
+// After. The zero value references nothing. Refs are plain values: handing
+// one out allocates nothing, and a ref whose event already fired or was
+// cancelled is simply inert (its table slot was recycled under a new
+// generation).
+type EventRef struct {
+	slot int32
+	gen  uint32
+}
+
+// slotEntry maps a handle slot to the event's current heap position. Freed
+// slots bump gen, which invalidates any outstanding EventRef, and go on the
+// free list for the next cancellable event — steady-state scheduling
+// allocates nothing.
+type slotEntry struct {
+	pos int32 // heap index, -1 while the slot is free
+	gen uint32
+}
+
+// eventQueue is a binary min-heap of Event values ordered by (At, Pri, seq).
+// A hand-rolled heap (rather than container/heap) avoids interface boxing on
+// the hot path: the trace replays push hundreds of thousands of events per
+// run.
 type eventQueue struct {
-	items []*Event
+	items []Event
+	// slots is the cancellation handle table; freeSlots is its free list.
+	slots     []slotEntry
+	freeSlots []int32
 }
 
 func (q *eventQueue) Len() int { return len(q.items) }
 
 func (q *eventQueue) less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+	a, b := &q.items[i], &q.items[j]
 	if a.At != b.At {
 		return a.At < b.At
+	}
+	if a.Pri != b.Pri {
+		return a.Pri < b.Pri
 	}
 	return a.seq < b.seq
 }
 
 func (q *eventQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.items[i].pos = i
-	q.items[j].pos = j
+	if s := q.items[i].slot; s >= 0 {
+		q.slots[s].pos = int32(i)
+	}
+	if s := q.items[j].slot; s >= 0 {
+		q.slots[s].pos = int32(j)
+	}
 }
 
-func (q *eventQueue) push(e *Event) {
-	e.pos = len(q.items)
+// allocSlot reserves a handle slot pointing at heap position pos and returns
+// a ref for it, recycling freed slots before growing the table.
+func (q *eventQueue) allocSlot(pos int32) (int32, EventRef) {
+	if n := len(q.freeSlots); n > 0 {
+		s := q.freeSlots[n-1]
+		q.freeSlots = q.freeSlots[:n-1]
+		q.slots[s].pos = pos
+		return s, EventRef{slot: s, gen: q.slots[s].gen}
+	}
+	q.slots = append(q.slots, slotEntry{pos: pos, gen: 1})
+	s := int32(len(q.slots) - 1)
+	return s, EventRef{slot: s, gen: 1}
+}
+
+// freeSlot retires a handle slot: the generation bump invalidates any
+// outstanding EventRef before the slot is reused.
+func (q *eventQueue) freeSlot(s int32) {
+	q.slots[s].pos = -1
+	q.slots[s].gen++
+	q.freeSlots = append(q.freeSlots, s)
+}
+
+// lookup resolves a ref to the heap position of its live event, or -1.
+func (q *eventQueue) lookup(ref EventRef) int32 {
+	if ref.slot < 0 || int(ref.slot) >= len(q.slots) {
+		return -1
+	}
+	e := q.slots[ref.slot]
+	if e.gen != ref.gen {
+		return -1
+	}
+	return e.pos
+}
+
+func (q *eventQueue) push(e Event) {
+	pos := len(q.items)
 	q.items = append(q.items, e)
-	q.up(e.pos)
+	if e.slot >= 0 {
+		q.slots[e.slot].pos = int32(pos)
+	}
+	q.up(pos)
 }
 
-func (q *eventQueue) pop() *Event {
+// pop removes and returns the earliest event; ok is false on an empty queue.
+func (q *eventQueue) pop() (e Event, ok bool) {
 	n := len(q.items)
 	if n == 0 {
-		return nil
+		return Event{}, false
 	}
 	top := q.items[0]
 	q.swap(0, n-1)
-	q.items[n-1] = nil
+	q.items[n-1] = Event{} // release Data/H references held by the slot
 	q.items = q.items[:n-1]
 	if n > 1 {
 		q.down(0)
 	}
-	top.pos = -1
-	return top
+	if top.slot >= 0 {
+		q.freeSlot(top.slot)
+	}
+	return top, true
 }
 
 // remove deletes the event at heap index i.
 func (q *eventQueue) remove(i int) {
 	n := len(q.items)
-	e := q.items[i]
+	slot := q.items[i].slot
 	q.swap(i, n-1)
-	q.items[n-1] = nil
+	q.items[n-1] = Event{}
 	q.items = q.items[:n-1]
 	if i < n-1 {
 		if !q.down(i) {
 			q.up(i)
 		}
 	}
-	e.pos = -1
+	if slot >= 0 {
+		q.freeSlot(slot)
+	}
 }
 
 func (q *eventQueue) up(i int) {

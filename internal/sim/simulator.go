@@ -41,32 +41,68 @@ func (s *Simulator) Now() Time { return s.now }
 // Pending returns the number of events waiting in the queue.
 func (s *Simulator) Pending() int { return s.queue.Len() }
 
-// Schedule enqueues fn to run at instant at. It returns the scheduled event,
-// which can later be passed to Cancel. Scheduling in the past is an error:
-// trace replays must never rewind the clock.
-func (s *Simulator) Schedule(at Time, fn func(s *Simulator)) (*Event, error) {
-	if at < s.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+// funcAdapter dispatches closure events scheduled with Schedule/After: the
+// closure rides in Event.Data (func values are pointer-shaped, so the
+// conversion does not allocate).
+type funcAdapter struct{}
+
+func (funcAdapter) HandleEvent(s *Simulator, ev Event) {
+	ev.Data.(func(*Simulator))(s)
+}
+
+var theFuncAdapter funcAdapter
+
+// ScheduleEvent enqueues a typed event. The caller fills At, Pri, H, and the
+// argument fields; seq and bookkeeping are assigned here. Typed events carry
+// no cancellation handle, which keeps the steady-state push/pop path free of
+// allocations entirely. Scheduling in the past is an error: trace replays
+// must never rewind the clock.
+func (s *Simulator) ScheduleEvent(ev Event) error {
+	if ev.At < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, ev.At, s.now)
 	}
-	e := &Event{At: at, Run: fn, seq: s.nextSeq}
+	ev.seq = s.nextSeq
 	s.nextSeq++
-	s.queue.push(e)
+	ev.slot = -1
+	s.queue.push(ev)
 	s.stats.NoteScheduled(s.queue.Len())
-	return e, nil
+	return nil
+}
+
+// Schedule enqueues fn to run at instant at. It returns a handle which can
+// later be passed to Cancel. Scheduling in the past is an error: trace
+// replays must never rewind the clock.
+func (s *Simulator) Schedule(at Time, fn func(s *Simulator)) (EventRef, error) {
+	if at < s.now {
+		return EventRef{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	slot, ref := s.queue.allocSlot(int32(s.queue.Len()))
+	s.queue.push(Event{
+		At:   at,
+		Pri:  PriNormal,
+		H:    theFuncAdapter,
+		Data: fn,
+		seq:  s.nextSeq,
+		slot: slot,
+	})
+	s.nextSeq++
+	s.stats.NoteScheduled(s.queue.Len())
+	return ref, nil
 }
 
 // After enqueues fn to run d after the current virtual time.
-func (s *Simulator) After(d Time, fn func(s *Simulator)) (*Event, error) {
+func (s *Simulator) After(d Time, fn func(s *Simulator)) (EventRef, error) {
 	return s.Schedule(s.now.Add(d), fn)
 }
 
 // Cancel removes a scheduled event from the queue. Cancelling an event that
 // already fired or was already cancelled is a no-op and reports false.
-func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.pos < 0 || e.pos >= s.queue.Len() || s.queue.items[e.pos] != e {
+func (s *Simulator) Cancel(ref EventRef) bool {
+	pos := s.queue.lookup(ref)
+	if pos < 0 {
 		return false
 	}
-	s.queue.remove(e.pos)
+	s.queue.remove(int(pos))
 	s.stats.NoteCancelled()
 	return true
 }
@@ -86,8 +122,8 @@ func (s *Simulator) Run() (Time, error) {
 	defer func() { s.running = false }()
 
 	for !s.stopped {
-		e := s.queue.pop()
-		if e == nil {
+		e, ok := s.queue.pop()
+		if !ok {
 			break
 		}
 		if s.horizon > 0 && e.At > s.horizon {
@@ -98,7 +134,7 @@ func (s *Simulator) Run() (Time, error) {
 		}
 		s.now = e.At
 		s.stats.NoteFired(time.Duration(e.At))
-		e.Run(s)
+		e.H.HandleEvent(s, e)
 	}
 	return s.now, nil
 }

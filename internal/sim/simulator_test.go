@@ -120,7 +120,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var ran []int
-	events := make([]*Event, 0, 20)
+	events := make([]EventRef, 0, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		e, err := s.Schedule(Time(i)*Second, func(*Simulator) { ran = append(ran, i) })
@@ -220,8 +220,8 @@ func TestQueueProperty(t *testing.T) {
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 		got := make([]Time, 0, len(raw))
 		for {
-			e := s.queue.pop()
-			if e == nil {
+			e, ok := s.queue.pop()
+			if !ok {
 				break
 			}
 			got = append(got, e.At)
@@ -247,7 +247,7 @@ func TestQueueRandomCancelProperty(t *testing.T) {
 	property := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		s := New()
-		live := make([]*Event, 0, 64)
+		live := make([]EventRef, 0, 64)
 		for op := 0; op < 500; op++ {
 			if len(live) == 0 || r.Intn(3) != 0 {
 				e, err := s.Schedule(Time(r.Intn(1_000_000)), func(*Simulator) {})
@@ -267,8 +267,8 @@ func TestQueueRandomCancelProperty(t *testing.T) {
 		// Everything left must still drain in order.
 		var prev Time = -1
 		for {
-			e := s.queue.pop()
-			if e == nil {
+			e, ok := s.queue.pop()
+			if !ok {
 				break
 			}
 			if e.At < prev {
@@ -285,7 +285,7 @@ func TestQueueRandomCancelProperty(t *testing.T) {
 
 func heapInvariantHolds(q *eventQueue) bool {
 	for i := range q.items {
-		if q.items[i].pos != i {
+		if s := q.items[i].slot; s >= 0 && q.slots[s].pos != int32(i) {
 			return false
 		}
 		left, right := 2*i+1, 2*i+2

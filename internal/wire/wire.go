@@ -75,12 +75,17 @@ type Signed struct {
 	Sig    g2gcrypto.Signature
 }
 
+// appendSigningInput encodes the canonical signing input into dst's backing
+// array and returns the extended slice.
+func appendSigningInput(dst []byte, signer trace.NodeID, at sim.Time, body Body) []byte {
+	dst = append(dst, byte(body.Kind()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(signer))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(at))
+	return body.MarshalBody(dst)
+}
+
 func signingInput(signer trace.NodeID, at sim.Time, body Body) []byte {
-	out := make([]byte, 0, 64)
-	out = append(out, byte(body.Kind()))
-	out = binary.BigEndian.AppendUint32(out, uint32(signer))
-	out = binary.BigEndian.AppendUint64(out, uint64(at))
-	return body.MarshalBody(out)
+	return appendSigningInput(make([]byte, 0, 64), signer, at, body)
 }
 
 // Sign wraps body in a Signed envelope stamped at the given virtual time.
@@ -99,6 +104,37 @@ func (s Signed) Verify(sys g2gcrypto.System) bool {
 		return false
 	}
 	return sys.Verify(s.Signer, signingInput(s.Signer, s.At, s.Body), s.Sig)
+}
+
+// Scratch signs and verifies envelopes through a reusable signing-input
+// buffer, eliminating the per-call encoding allocation of the package-level
+// Sign and Signed.Verify. A Scratch is NOT safe for concurrent use: callers
+// own exactly one per single-threaded context (the protocol Env keeps one
+// per run). Crypto providers must not retain the input slice — both in-repo
+// providers consume it before returning, and the contract is documented on
+// g2gcrypto.Identity.Sign.
+type Scratch struct {
+	buf []byte
+}
+
+// Sign is the scratch-buffered equivalent of the package-level Sign.
+func (sc *Scratch) Sign(id g2gcrypto.Identity, at sim.Time, body Body) Signed {
+	sc.buf = appendSigningInput(sc.buf[:0], id.Node(), at, body)
+	return Signed{
+		Signer: id.Node(),
+		At:     at,
+		Body:   body,
+		Sig:    id.Sign(sc.buf),
+	}
+}
+
+// Verify is the scratch-buffered equivalent of Signed.Verify.
+func (sc *Scratch) Verify(sys g2gcrypto.System, s Signed) bool {
+	if s.Body == nil {
+		return false
+	}
+	sc.buf = appendSigningInput(sc.buf[:0], s.Signer, s.At, s.Body)
+	return sys.Verify(s.Signer, sc.buf, s.Sig)
 }
 
 // Marshal encodes the full envelope, signature included, so envelopes can be
