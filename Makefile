@@ -6,6 +6,9 @@ BENCH_OUT ?= BENCH_after.json
 BENCH_OLD ?= BENCH_baseline.json
 BENCH_NEW ?= BENCH_after.json
 BENCH_MAX_REGRESS ?= 10
+# Wall-time gate: fail bench-diff when ns/op regresses beyond this percent
+# (wide because single-iteration wall times are noisy; 0 disables).
+BENCH_NS_TOLERANCE ?= 25
 
 .PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover check ci
 
@@ -40,15 +43,20 @@ bench:
 	@rm -f bench_output.txt
 	@echo "bench: wrote $(BENCH_OUT)"
 
-# One iteration per benchmark, no measurement artifacts: smoke-checks that
-# every bench still runs. Wired into ci.
+# One iteration per benchmark with telemetry collection on: smoke-checks that
+# every bench still runs AND that the per-phase span pipeline works end to end
+# (the experiment benches record into a shared registry, the snapshot lands in
+# bench_telemetry.json, and benchjson renders its phase table). Wired into ci.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	G2G_BENCH_TELEMETRY=$(CURDIR)/bench_telemetry.json $(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/benchjson -phases bench_telemetry.json
+	@rm -f bench_telemetry.json
 
 # Compare two BENCH_*.json reports; exits non-zero when allocs/op on any
-# shared benchmark regresses by more than BENCH_MAX_REGRESS percent.
+# shared benchmark regresses by more than BENCH_MAX_REGRESS percent, or ns/op
+# by more than BENCH_NS_TOLERANCE percent.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff -max-regress $(BENCH_MAX_REGRESS) $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/benchjson -diff -max-regress $(BENCH_MAX_REGRESS) -ns-tolerance $(BENCH_NS_TOLERANCE) $(BENCH_OLD) $(BENCH_NEW)
 
 # Native fuzzing over every parser/validator entry point. Go allows one
 # -fuzz target per invocation, so each runs for FUZZTIME in turn. Plain

@@ -9,9 +9,11 @@ package give2get
 // show up as metric drift, not just wall-time drift.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,12 +27,48 @@ func benchOpts() experiments.Options {
 	return experiments.Options{Quick: true, Seed: 1}
 }
 
+// benchTelemetry is the registry shared by every benchmark of the run when
+// G2G_BENCH_TELEMETRY names an output file (see `make bench-smoke`): the
+// experiment benchmarks record into it and the aggregated snapshot — with the
+// per-phase span table — lands in that file for `benchjson -phases`.
+var (
+	benchTelemetryOnce sync.Once
+	benchTelemetry     *Metrics
+)
+
+func benchTelemetryRegistry() *Metrics {
+	if os.Getenv("G2G_BENCH_TELEMETRY") == "" {
+		return nil
+	}
+	benchTelemetryOnce.Do(func() { benchTelemetry = NewMetrics() })
+	return benchTelemetry
+}
+
+// writeBenchTelemetry freezes the shared registry into the requested file.
+// Every finishing benchmark rewrites it, so the file always holds the
+// aggregate over everything that ran so far.
+func writeBenchTelemetry(b *testing.B, reg *Metrics) {
+	b.Helper()
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv("G2G_BENCH_TELEMETRY"), append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // runExperimentBench drives one experiment per iteration and lets the caller
 // pull metrics out of the resulting tables.
 func runExperimentBench(b *testing.B, id string, report func(b *testing.B, tables []*metrics.Table)) {
 	b.Helper()
+	opts := benchOpts()
+	if reg := benchTelemetryRegistry(); reg != nil {
+		opts.Telemetry = reg
+		b.Cleanup(func() { writeBenchTelemetry(b, reg) })
+	}
 	for i := 0; i < b.N; i++ {
-		tables, err := experiments.Run(id, benchOpts())
+		tables, err := experiments.Run(id, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,6 +123,23 @@ func BenchmarkTable1G2GDelegation(b *testing.B) {
 // deviants under G2G Delegation.
 func BenchmarkFig7DetectionTime(b *testing.B) {
 	runExperimentBench(b, "fig7", nil)
+}
+
+// BenchmarkFig7DetectionTimeTelemetry is BenchmarkFig7DetectionTime with a
+// live telemetry registry attached to every run: the span profiler's
+// enabled-path overhead benchmark. Compare its ns/op against
+// BenchmarkFig7DetectionTime in the same report — the gap is what per-phase
+// profiling costs on a real experiment (the budget is under 5%).
+func BenchmarkFig7DetectionTimeTelemetry(b *testing.B) {
+	reg := NewMetrics()
+	opts := benchOpts()
+	opts.Telemetry = reg
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("fig7", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reg.Snapshot().Spans)), "phases")
 }
 
 // BenchmarkFig8Performance regenerates Fig. 8: cost/success/delay for all

@@ -6,9 +6,16 @@
 //	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH.json
 //
 // Diff (exits non-zero when allocs/op regresses by more than -max-regress
-// percent on any benchmark present in both reports):
+// percent — or, with -ns-tolerance above zero, when ns/op regresses by more
+// than that percent — on any benchmark present in both reports):
 //
-//	go run ./cmd/benchjson -diff BENCH_baseline.json BENCH_after.json -max-regress 10
+//	go run ./cmd/benchjson -diff BENCH_baseline.json BENCH_after.json -max-regress 10 -ns-tolerance 25
+//
+// Phase table (reads a g2g.telemetry/1 snapshot, e.g. the one `make
+// bench-smoke` collects via G2G_BENCH_TELEMETRY, and renders its per-phase
+// span breakdown):
+//
+//	go run ./cmd/benchjson -phases bench_telemetry.json
 //
 // The JSON shape is stable: a header (goos/goarch/cpu) plus one record per
 // benchmark with iterations, ns/op, B/op, allocs/op, and any custom
@@ -25,19 +32,28 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("o", "", "write the JSON report here (default stdout)")
-		in         = flag.String("in", "", "read benchmark output from this file (default stdin)")
-		diff       = flag.Bool("diff", false, "diff two JSON reports given as positional args")
-		maxRegress = flag.Float64("max-regress", 10, "with -diff: fail when allocs/op grows by more than this percent")
+		out         = flag.String("o", "", "write the JSON report here (default stdout)")
+		in          = flag.String("in", "", "read benchmark output from this file (default stdin)")
+		diff        = flag.Bool("diff", false, "diff two JSON reports given as positional args")
+		maxRegress  = flag.Float64("max-regress", 10, "with -diff: fail when allocs/op grows by more than this percent")
+		nsTolerance = flag.Float64("ns-tolerance", 0, "with -diff: fail when ns/op grows by more than this percent (0 = wall time not gated)")
+		phases      = flag.String("phases", "", "render the per-phase span table of this telemetry snapshot and exit")
 	)
 	flag.Parse()
 
+	if *phases != "" {
+		if err := runPhases(os.Stdout, *phases); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *diff {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report files")
 			os.Exit(2)
 		}
-		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
+		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *nsTolerance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)

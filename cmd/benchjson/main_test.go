@@ -90,12 +90,12 @@ func TestDiffGate(t *testing.T) {
 
 	oldPath := writeReport(t, dir, "old.json", oldRep)
 	var sb strings.Builder
-	code, err := runDiff(&sb, oldPath, writeReport(t, dir, "pass.json", pass), 10)
+	code, err := runDiff(&sb, oldPath, writeReport(t, dir, "pass.json", pass), 10, 0)
 	if err != nil || code != 0 {
 		t.Fatalf("pass diff: code=%d err=%v\n%s", code, err, sb.String())
 	}
 	sb.Reset()
-	code, err = runDiff(&sb, oldPath, writeReport(t, dir, "fail.json", fail), 10)
+	code, err = runDiff(&sb, oldPath, writeReport(t, dir, "fail.json", fail), 10, 0)
 	if err != nil || code != 1 {
 		t.Fatalf("fail diff: code=%d err=%v\n%s", code, err, sb.String())
 	}
@@ -104,11 +104,120 @@ func TestDiffGate(t *testing.T) {
 	}
 }
 
+// TestDiffNsGate pins both directions of the wall-time gate: a regression
+// beyond the tolerance fails, an improvement (or a regression inside the
+// band) passes, and a zero tolerance disables the gate entirely.
+func TestDiffNsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+	}}
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+
+	t.Run("regression beyond tolerance fails", func(t *testing.T) {
+		slow := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 1500, AllocsPerOp: 100, BytesPerOp: 1}, // +50%
+			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow.json", slow), 10, 25)
+		if err != nil || code != 1 {
+			t.Fatalf("ns regression not gated: code=%d err=%v\n%s", code, err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "FAIL ns") || !strings.Contains(sb.String(), "ns/op regression beyond 25%") {
+			t.Fatalf("diff output does not name the ns gate:\n%s", sb.String())
+		}
+	})
+	t.Run("improvement and in-band noise pass", func(t *testing.T) {
+		fast := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 400, AllocsPerOp: 100, BytesPerOp: 1},  // -60%: improvement
+			{Name: "B", Pkg: "p", NsPerOp: 1100, AllocsPerOp: 100, BytesPerOp: 1}, // +10%: inside band
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "fast.json", fast), 10, 25)
+		if err != nil || code != 0 {
+			t.Fatalf("improvement failed the ns gate: code=%d err=%v\n%s", code, err, sb.String())
+		}
+	})
+	t.Run("zero tolerance disables the gate", func(t *testing.T) {
+		slow := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 100, BytesPerOp: 1}, // 9x slower
+			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow0.json", slow), 10, 0)
+		if err != nil || code != 0 {
+			t.Fatalf("disabled ns gate still fired: code=%d err=%v\n%s", code, err, sb.String())
+		}
+	})
+	t.Run("both gates mark the row once", func(t *testing.T) {
+		both := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 1500, AllocsPerOp: 200, BytesPerOp: 1}, // +50% ns, +100% allocs
+			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "both.json", both), 10, 25)
+		if err != nil || code != 1 {
+			t.Fatalf("double regression passed: code=%d err=%v\n%s", code, err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "FAIL both") {
+			t.Fatalf("row not marked for both gates:\n%s", sb.String())
+		}
+	})
+}
+
+// TestPhasesTable renders the span breakdown of a telemetry snapshot.
+func TestPhasesTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.json")
+	snap := `{
+  "schema": "g2g.telemetry/1",
+  "spans": [
+    {"name": "session", "count": 10, "wall_ns": 5000000, "self_ns": 3000000, "mean_ns": 500000},
+    {"name": "crypto_hmac", "count": 40, "wall_ns": 2000000, "self_ns": 2000000, "mean_ns": 50000}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runPhases(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"session", "crypto_hmac", "60.0%", "40.0%", "5ms", "50µs"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("phase table missing %q:\n%s", want, got)
+		}
+	}
+	// The header row orders the columns the docs promise.
+	if !strings.Contains(got, "phase") || !strings.Contains(got, "self%") {
+		t.Errorf("phase table header malformed:\n%s", got)
+	}
+}
+
+// TestPhasesErrors: a snapshot without spans (e.g. from a telemetry-disabled
+// run) is an explicit error, not an empty table.
+func TestPhasesErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"g2g.telemetry/1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPhases(&strings.Builder{}, empty); err == nil || !strings.Contains(err.Error(), "no span records") {
+		t.Fatalf("spanless snapshot accepted: %v", err)
+	}
+	if err := runPhases(&strings.Builder{}, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
 func TestDiffNoCommon(t *testing.T) {
 	dir := t.TempDir()
 	a := writeReport(t, dir, "a.json", &Report{Benchmarks: []Benchmark{{Name: "A", Pkg: "p"}}})
 	b := writeReport(t, dir, "b.json", &Report{Benchmarks: []Benchmark{{Name: "B", Pkg: "p"}}})
-	if _, err := runDiff(&strings.Builder{}, a, b, 10); err == nil {
+	if _, err := runDiff(&strings.Builder{}, a, b, 10, 0); err == nil {
 		t.Fatal("want error when no benchmarks overlap")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one benchmark result row.
@@ -133,8 +134,11 @@ func readReport(path string) (*Report, error) {
 }
 
 // runDiff compares two reports benchmark by benchmark and returns exit code 1
-// when any benchmark's allocs/op grew by more than maxRegress percent.
-func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (int, error) {
+// when any benchmark's allocs/op grew by more than maxRegress percent, or —
+// when nsTolerance is above zero — its ns/op grew by more than nsTolerance
+// percent. The ns/op gate is opt-in because wall time is noisy; the tolerance
+// is the accepted noise band, and improvements of any size always pass.
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress, nsTolerance float64) (int, error) {
 	oldRep, err := readReport(oldPath)
 	if err != nil {
 		return 0, err
@@ -161,7 +165,7 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (int, err
 		return 0, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
 	}
 
-	failed := false
+	allocsFailed, nsFailed := false, false
 	fmt.Fprintf(w, "%-44s %14s %14s %12s\n", "benchmark", "ns/op Δ", "allocs/op Δ", "gate")
 	for _, k := range keys {
 		o, n := oldBy[k], newBy[k]
@@ -169,13 +173,26 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (int, err
 		allocDelta := pctDelta(o.AllocsPerOp, n.AllocsPerOp)
 		gate := "ok"
 		if o.AllocsPerOp >= 0 && n.AllocsPerOp >= 0 && allocDelta > maxRegress {
-			gate = "FAIL"
-			failed = true
+			gate = "FAIL allocs"
+			allocsFailed = true
+		}
+		if nsTolerance > 0 && o.NsPerOp > 0 && nsDelta > nsTolerance {
+			if gate == "FAIL allocs" {
+				gate = "FAIL both"
+			} else {
+				gate = "FAIL ns"
+			}
+			nsFailed = true
 		}
 		fmt.Fprintf(w, "%-44s %+13.1f%% %+13.1f%% %12s\n", n.Name, nsDelta, allocDelta, gate)
 	}
-	if failed {
+	if allocsFailed {
 		fmt.Fprintf(w, "benchjson: allocs/op regression beyond %.0f%% detected\n", maxRegress)
+	}
+	if nsFailed {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% detected\n", nsTolerance)
+	}
+	if allocsFailed || nsFailed {
 		return 1, nil
 	}
 	return 0, nil
@@ -186,4 +203,55 @@ func pctDelta(oldV, newV float64) float64 {
 		return 0
 	}
 	return (newV - oldV) / oldV * 100
+}
+
+// phaseSnapshot is the slice of a g2g.telemetry/1 snapshot the phase table
+// needs: the schema marker and the span records.
+type phaseSnapshot struct {
+	Schema string `json:"schema"`
+	Spans  []struct {
+		Name   string `json:"name"`
+		Count  int64  `json:"count"`
+		WallNS int64  `json:"wall_ns"`
+		SelfNS int64  `json:"self_ns"`
+		MeanNS int64  `json:"mean_ns"`
+	} `json:"spans"`
+}
+
+// runPhases renders the per-phase span breakdown of a telemetry snapshot as a
+// table: one row per phase in the snapshot's (declaration) order, with self
+// time as a share of the total self time — the column that says where the
+// wall clock actually went, since self time excludes nested phases and so
+// sums without double counting.
+func runPhases(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap phaseSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Spans) == 0 {
+		return fmt.Errorf("%s: no span records (schema %q) — was the run telemetry-enabled?", path, snap.Schema)
+	}
+	var totalSelf int64
+	for _, sp := range snap.Spans {
+		totalSelf += sp.SelfNS
+	}
+	fmt.Fprintf(w, "%-18s %12s %14s %14s %12s %7s\n",
+		"phase", "count", "wall", "self", "mean", "self%")
+	for _, sp := range snap.Spans {
+		share := 0.0
+		if totalSelf > 0 {
+			share = float64(sp.SelfNS) / float64(totalSelf) * 100
+		}
+		fmt.Fprintf(w, "%-18s %12d %14s %14s %12s %6.1f%%\n",
+			sp.Name, sp.Count,
+			time.Duration(sp.WallNS).Round(time.Microsecond),
+			time.Duration(sp.SelfNS).Round(time.Microsecond),
+			time.Duration(sp.MeanNS).Round(time.Nanosecond),
+			share)
+	}
+	return nil
 }

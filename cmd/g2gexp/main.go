@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		verbose    = fs.Bool("v", false, "log every completed run")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		telemetry  = fs.String("telemetry", "", "write an aggregated JSON run report over all runs to this file")
+		inspect    = fs.String("inspect", "", "serve a live experiment inspector on this address (e.g. :6060): JSON telemetry at /snapshot, SSE progress at /events, pprof under /debug/pprof/")
 	)
 	var prof obs.Profiler
 	prof.RegisterFlags(fs)
@@ -65,8 +66,24 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *verbose {
 		opts.Progress = stderr
 	}
-	if *telemetry != "" {
+	if *telemetry != "" || *inspect != "" {
+		// The inspector needs a live registry even when no report file was
+		// asked for; the shared registry aggregates every run of the sweep.
 		opts.Telemetry = obs.NewMetrics()
+	}
+	if *inspect != "" {
+		insp := &obs.Inspector{Addr: *inspect, Metrics: opts.Telemetry, Label: *experiment}
+		stopInsp, err := insp.Start()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := stopInsp(); err == nil {
+				err = cerr
+			}
+		}()
+		fmt.Fprintf(stderr, "g2gexp: inspector on http://%s (snapshot: /snapshot, events: /events, pprof: /debug/pprof/)\n",
+			insp.BoundAddr())
 	}
 
 	ids := experiments.IDs()
@@ -94,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			fmt.Fprintln(stdout)
 		}
 	}
-	if opts.Telemetry != nil {
+	if *telemetry != "" {
 		b, err := json.MarshalIndent(opts.Telemetry.Snapshot(), "", "  ")
 		if err != nil {
 			return err

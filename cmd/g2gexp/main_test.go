@@ -68,6 +68,53 @@ func TestRunJobsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunInspectSpansFig7 drives the acceptance scenario end to end: a
+// telemetry-enabled Fig. 7 run with the auditor on serves a live inspector
+// and reports a per-phase span table spanning the whole stack — engine
+// (contact_schedule, session), protocol (relay, test, por), crypto
+// (crypto_hmac), audit, and the sweep scheduler (sweep_dispatch).
+func TestRunInspectSpansFig7(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "telemetry.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-experiment", "fig7", "-tiny", "-audit",
+		"-inspect", "127.0.0.1:0", "-telemetry", report}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "inspector on http://127.0.0.1:") {
+		t.Errorf("no inspector notice on stderr:\n%s", errOut.String())
+	}
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Spans []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(snap.Spans))
+	for _, sp := range snap.Spans {
+		if sp.Count <= 0 {
+			t.Errorf("span %s has zero count", sp.Name)
+		}
+		got[sp.Name] = true
+	}
+	if len(got) < 6 {
+		t.Errorf("want >= 6 named phases, got %d: %v", len(got), snap.Spans)
+	}
+	for _, want := range []string{"trace_load", "contact_schedule", "session",
+		"relay", "test", "por", "crypto_hmac", "audit", "sweep_dispatch"} {
+		if !got[want] {
+			t.Errorf("span table missing %s: %v", want, snap.Spans)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-experiment", "bogus"}, &out, &errOut); err == nil {

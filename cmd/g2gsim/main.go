@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		telemetry = fs.String("telemetry", "", "write the JSON run report (counters, phase timings) to this file")
 		tracelog  = fs.String("tracelog", "", "write a leveled JSON-lines trace of the run to this file")
 		progress  = fs.Duration("progress", 0, "print a progress line to stderr at this wall-clock period (0 = off)")
+		inspect   = fs.String("inspect", "", "serve a live run inspector on this address (e.g. :6060): JSON telemetry at /snapshot, SSE progress at /events, pprof under /debug/pprof/")
 	)
 	var prof obs.Profiler
 	prof.RegisterFlags(fs)
@@ -66,7 +67,16 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
+	// The registry exists for the whole invocation when inspecting, so the
+	// trace_load span below and every run (repeats included) aggregate into
+	// the same live view.
+	var reg *give2get.Metrics
+	if *inspect != "" {
+		reg = give2get.NewMetrics()
+	}
+
 	var tr *give2get.Trace
+	traceStart := time.Now()
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -83,6 +93,25 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return err
 		}
 	}
+	if reg != nil {
+		d := time.Since(traceStart)
+		reg.Spans.Note(obs.SpanTraceLoad, d, d)
+	}
+
+	if *inspect != "" {
+		insp := &obs.Inspector{Addr: *inspect, Metrics: reg, Label: tr.Name()}
+		stopInsp, err := insp.Start()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := stopInsp(); err == nil {
+				err = cerr
+			}
+		}()
+		fmt.Fprintf(stderr, "g2gsim: inspector on http://%s (snapshot: /snapshot, events: /events, pprof: /debug/pprof/)\n",
+			insp.BoundAddr())
+	}
 
 	cfg := give2get.SimulationConfig{
 		Trace:           tr,
@@ -93,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		MessageInterval: *interval,
 		OnlyOutsiders:   *outsiders,
 		RealCrypto:      *realCrypt,
+		Registry:        reg,
 	}
 	if *deviants > 0 {
 		cfg.Deviation = give2get.Deviation(*deviation)

@@ -156,6 +156,54 @@ func TestRunTelemetryReport(t *testing.T) {
 	}
 }
 
+// TestRunInspect exercises the -inspect path end to end: the run serves a
+// live inspector, the stderr notice names the bound address, and the
+// telemetry report carries the per-phase span table (trace_load from the CLI
+// itself plus engine/protocol spans from inside the run).
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-preset", "infocom05", "-protocol", "g2g-epidemic",
+		"-ttl", "30m", "-interval", "2m",
+		"-inspect", "127.0.0.1:0", "-telemetry", report,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "inspector on http://127.0.0.1:") {
+		t.Errorf("no inspector notice on stderr:\n%s", errOut.String())
+	}
+
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Spans []struct {
+			Name   string `json:"name"`
+			Count  int64  `json:"count"`
+			WallNS int64  `json:"wall_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(snap.Spans))
+	for _, sp := range snap.Spans {
+		if sp.Count <= 0 || sp.WallNS < 0 {
+			t.Errorf("span %s has bogus stats: %+v", sp.Name, sp)
+		}
+		got[sp.Name] = true
+	}
+	for _, want := range []string{"trace_load", "contact_schedule", "session", "relay", "test", "por", "crypto_hmac"} {
+		if !got[want] {
+			t.Errorf("span table missing %s: %v", want, snap.Spans)
+		}
+	}
+}
+
 func TestDedupe(t *testing.T) {
 	got := dedupe([]int{3, 1, 3, 2, 1})
 	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {

@@ -21,6 +21,15 @@ import (
 // field.
 type Telemetry = obs.Snapshot
 
+// Metrics is a live telemetry registry. Every recording operation is atomic,
+// so one registry may be shared by concurrent runs (aggregating them) and
+// snapshotted at any moment while runs are still executing — that is what the
+// CLIs' live run inspector does.
+type Metrics = obs.Metrics
+
+// NewMetrics returns a fresh telemetry registry for SimulationConfig.Registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
 // Protocol names a forwarding protocol.
 type Protocol string
 
@@ -122,6 +131,12 @@ type SimulationConfig struct {
 	// Audit, when enabled, runs the online invariant auditor alongside the
 	// simulation and attaches its report to the result.
 	Audit AuditConfig
+
+	// Registry, when non-nil, is the registry the run records its telemetry
+	// into (instead of a fresh private one). Share it across runs to
+	// aggregate them, or snapshot it mid-run for live progress — all
+	// recording is atomic.
+	Registry *Metrics
 }
 
 // AuditConfig switches on the invariant auditor: a shadow model of the run
@@ -222,6 +237,7 @@ func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 		Deviants:      deviants,
 		Deviation:     deviation,
 		OnlyOutsiders: cfg.OnlyOutsiders,
+		Telemetry:     cfg.Registry,
 	}
 	if cfg.RealCrypto {
 		ecfg.Crypto = engine.CryptoReal

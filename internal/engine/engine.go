@@ -98,6 +98,12 @@ type Config struct {
 	// run — callers decide what a failed audit means (see
 	// runner.Options.StrictAudit).
 	Audit *invariant.Options
+	// FlightRecorder sizes the bounded ring buffer of recent trace records
+	// kept for post-mortems (Result.FlightRecords). 0 means auto: on (64
+	// records) when an auditor is attached, off otherwise; negative disables
+	// explicitly. The recorder is observation-only — it never changes the
+	// run, its trace output, or its audit digest.
+	FlightRecorder int
 	// Progress, when non-nil, receives periodic one-line progress reports
 	// every ProgressEvery of wall time (default 10s) while the run executes.
 	Progress io.Writer
@@ -172,6 +178,11 @@ type Result struct {
 	// Config.Audit was set. A report with violations does not make the run
 	// fail here — see Report.Err for the strict form.
 	Audit *invariant.Report
+	// FlightRecords is the flight recorder's tail — the run's most recent
+	// trace records, oldest first — when Config.FlightRecorder enabled it;
+	// nil otherwise. The runner dumps it when a strict audit fails (see
+	// obs.WriteFlightDump).
+	FlightRecords []obs.Record
 }
 
 // DefaultWorkload fills in the paper's standard workload settings for a
@@ -204,6 +215,9 @@ type engine struct {
 	collector *metrics.Collector
 	metrics   *obs.Metrics
 	auditor   *invariant.Auditor
+	spans     *obs.SpanRecorder
+	flight    *obs.RingSink
+	sink      obs.TraceSink
 	nodes     []protocol.Node
 	comms     *kclique.Communities
 
@@ -276,22 +290,44 @@ func newEngine(cfg Config) (*engine, error) {
 		m = obs.NewMetrics()
 	}
 	sys = g2gcrypto.Instrument(sys, &m.Crypto)
+	spans := obs.NewSpanRecorder(&m.Spans)
 
+	// The flight recorder rides the trace-sink chain: a bounded ring of the
+	// most recent records, defaulted on for audited runs so a violation can
+	// dump its immediate past. The legacy EventLog sink filters run-milestone
+	// records, so its output stays byte-identical either way.
+	var flight *obs.RingSink
+	flightCap := cfg.FlightRecorder
+	if flightCap == 0 && cfg.Audit != nil {
+		flightCap = 64
+	}
+	if flightCap > 0 {
+		flight = obs.NewRingSink(flightCap, obs.LevelDebug)
+	}
 	sink := cfg.TraceSink
 	if cfg.EventLog != nil {
 		sink = obs.Multi(sink, NewLegacyEventSink(cfg.EventLog))
 	}
+	if flight != nil {
+		sink = obs.Multi(sink, flight)
+	}
 	collector := metrics.NewCollector()
-	observer := &runObserver{inner: collector, eng: &m.Engine, sink: sink}
+	observer := &runObserver{inner: collector, eng: &m.Engine, sink: sink, spans: spans}
 	var auditor *invariant.Auditor
 	if cfg.Audit != nil {
+		groundTruth, groundDeviation := cfg.Deviants, cfg.Deviation
+		if cfg.Audit.AssumeHonest {
+			// Audit against an empty deviant set: real detections become
+			// honest-run violations (see invariant.Options.AssumeHonest).
+			groundTruth, groundDeviation = nil, protocol.Honest
+		}
 		auditor = invariant.New(invariant.Config{
 			Options:         *cfg.Audit,
 			Sys:             sys,
 			Params:          cfg.Params,
 			Population:      population,
-			Deviants:        cfg.Deviants,
-			Deviation:       cfg.Deviation,
+			Deviants:        groundTruth,
+			Deviation:       groundDeviation,
 			G2G:             cfg.Protocol.IsG2G(),
 			SharedTelemetry: cfg.Telemetry != nil,
 		})
@@ -303,6 +339,7 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 	env.SetMetrics(m)
+	env.SetSpans(spans)
 
 	e := &engine{
 		cfg:         cfg,
@@ -311,6 +348,9 @@ func newEngine(cfg Config) (*engine, error) {
 		collector:   collector,
 		metrics:     m,
 		auditor:     auditor,
+		spans:       spans,
+		flight:      flight,
+		sink:        sink,
 		active:      make(map[trace.PairKey]int),
 		neighbors:   make([][]trace.NodeID, population),
 		contacts:    cfg.Trace.Contacts(),
@@ -384,43 +424,37 @@ func (e *engine) run() (*Result, error) {
 	s := sim.New()
 	s.SetStats(&e.metrics.Sim)
 
-	if e.cfg.legacyScheduling {
-		if err := e.scheduleContactsLegacy(s); err != nil {
-			return nil, err
-		}
-		if err := e.scheduleWorkloadLegacy(s); err != nil {
-			return nil, err
-		}
-	} else {
-		if err := e.scheduleContacts(s); err != nil {
-			return nil, err
-		}
-		if err := e.scheduleWorkload(s); err != nil {
-			return nil, err
-		}
-	}
-	if err := e.scheduleMemorySampling(s); err != nil {
+	e.spans.Enter(obs.SpanSchedule)
+	err := e.scheduleAll(s)
+	e.spans.Exit()
+	if err != nil {
 		return nil, err
 	}
 
 	// Phase probes capture the wall clock as the virtual clock crosses the
 	// window boundaries. They are no-op events scheduled after everything
 	// else, so same-instant protocol events keep their order and the run
-	// stays deterministic in virtual time.
+	// stays deterministic in virtual time. They double as the phase markers
+	// for the live inspector and the trace/flight sinks.
 	var wallAtWindowFrom, wallAtWindowTo time.Time
 	if e.cfg.WindowFrom >= e.startAt {
 		if _, err := s.Schedule(e.cfg.WindowFrom, func(*sim.Simulator) {
 			wallAtWindowFrom = time.Now()
+			e.emitPhase(e.cfg.WindowFrom, obs.PhaseWindow)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	if _, err := s.Schedule(e.cfg.WindowTo, func(*sim.Simulator) {
 		wallAtWindowTo = time.Now()
+		e.emitPhase(e.cfg.WindowTo, obs.PhaseDrain)
 	}); err != nil {
 		return nil, err
 	}
 
+	if e.startAt < e.cfg.WindowFrom {
+		e.emitPhase(e.startAt, obs.PhaseWarmup)
+	}
 	stopProgress := e.startProgress()
 	wallStart := time.Now()
 	endedAt, err := s.RunUntil(e.endAt)
@@ -455,6 +489,9 @@ func (e *engine) run() (*Result, error) {
 		EndedAt:     endedAt,
 		Telemetry:   e.metrics.Snapshot(),
 	}
+	if e.flight != nil {
+		result.FlightRecords = e.flight.Records()
+	}
 	if e.auditor != nil {
 		fin := invariant.Finalization{
 			SummaryGenerated:   result.Summary.Generated,
@@ -476,6 +513,42 @@ func (e *engine) run() (*Result, error) {
 		result.Audit = e.auditor.Finalize(fin)
 	}
 	return result, nil
+}
+
+// scheduleAll seeds the run's event queue: the contact cursor, the workload
+// cursor, and the memory sampler (or the legacy pre-materialized schedule in
+// differential tests).
+func (e *engine) scheduleAll(s *sim.Simulator) error {
+	if e.cfg.legacyScheduling {
+		if err := e.scheduleContactsLegacy(s); err != nil {
+			return err
+		}
+		if err := e.scheduleWorkloadLegacy(s); err != nil {
+			return err
+		}
+	} else {
+		if err := e.scheduleContacts(s); err != nil {
+			return err
+		}
+		if err := e.scheduleWorkload(s); err != nil {
+			return err
+		}
+	}
+	return e.scheduleMemorySampling(s)
+}
+
+// emitPhase marks a phase transition: the current-phase gauge the live
+// inspector reads and one "phase" milestone record for the trace and flight
+// sinks. The legacy EventLog sink drops milestone records, keeping its output
+// byte-identical to the pre-telemetry format.
+func (e *engine) emitPhase(at sim.Time, p obs.Phase) {
+	e.metrics.Engine.EnterPhase(p)
+	if e.sink != nil && e.sink.Enabled(obs.LevelInfo) {
+		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "phase")
+		rec.Wall = time.Now()
+		rec.Reason = p.String()
+		e.sink.Emit(rec)
+	}
 }
 
 // startProgress launches the periodic progress reporter; the returned stop
@@ -630,6 +703,7 @@ func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 		i := int(ev.P)
 		c := e.contacts[i]
 		_, end := e.clampContact(c)
+		e.spans.Enter(obs.SpanSchedule)
 		if err := s.ScheduleEvent(sim.Event{
 			At:  end,
 			Pri: 2*int64(i) + 1,
@@ -643,6 +717,7 @@ func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 		if err := e.scheduleNextContactStart(s, i+1); err != nil {
 			panic(fmt.Sprintf("engine: contact cursor: %v", err))
 		}
+		e.spans.Exit()
 		e.contactStart(s.Now(), c.A, c.B)
 	case opContactEnd:
 		e.contactEnd(trace.NodeID(ev.A), trace.NodeID(ev.B))
@@ -650,9 +725,11 @@ func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 		i := int(ev.P)
 		g := e.gens[i]
 		e.gens[i].body = nil // the node owns the payload from here on
+		e.spans.Enter(obs.SpanSchedule)
 		if err := e.scheduleNextGen(s, i+1); err != nil {
 			panic(fmt.Sprintf("engine: workload cursor: %v", err))
 		}
+		e.spans.Exit()
 		e.generate(s.Now(), g.src, g.dst, g.body)
 	}
 }
@@ -755,6 +832,7 @@ func (e *engine) sessionPair(now sim.Time, a, b trace.NodeID) bool {
 	if na.Blacklisted(b) || nb.Blacklisted(a) {
 		return false
 	}
+	e.spans.Enter(obs.SpanSession)
 	moved := false
 	if t, err := na.RunSession(now, nb); err == nil && t {
 		moved = true
@@ -763,6 +841,7 @@ func (e *engine) sessionPair(now sim.Time, a, b trace.NodeID) bool {
 		moved = true
 	}
 	e.metrics.Engine.NoteSession(moved)
+	e.spans.Exit()
 	return moved
 }
 

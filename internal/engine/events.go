@@ -30,6 +30,9 @@ type runObserver struct {
 	eng   *obs.EngineStats
 	sink  obs.TraceSink
 	audit *invariant.Auditor
+	// spans attributes the shadow-model folding to the "audit" span; it is
+	// the run's recorder, shared with the engine and the protocol Env.
+	spans *obs.SpanRecorder
 }
 
 var (
@@ -45,7 +48,9 @@ func (o *runObserver) Generated(h g2gcrypto.Digest, id message.ID, src, dst trac
 	o.inner.Generated(h, id, src, dst, at)
 	o.eng.NoteGenerated()
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.Generated(h, id, src, dst, at)
+		o.spans.Exit()
 	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "generate")
@@ -61,7 +66,9 @@ func (o *runObserver) Replicated(h g2gcrypto.Digest, from, to trace.NodeID, at s
 	o.inner.Replicated(h, from, to, at)
 	o.eng.NoteRelayed()
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.Replicated(h, from, to, at)
+		o.spans.Exit()
 	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "replicate")
@@ -77,7 +84,9 @@ func (o *runObserver) Delivered(h g2gcrypto.Digest, at sim.Time) {
 	o.inner.Delivered(h, at)
 	o.eng.NoteDelivered()
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.Delivered(h, at)
+		o.spans.Exit()
 	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelInfo) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelInfo, "deliver")
@@ -91,7 +100,9 @@ func (o *runObserver) Delivered(h g2gcrypto.Digest, at sim.Time) {
 func (o *runObserver) Detected(accused trace.NodeID, reason wire.MisbehaviorReason, h g2gcrypto.Digest, at, ttlExpiry sim.Time) {
 	o.inner.Detected(accused, reason, h, at, ttlExpiry)
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.Detected(accused, reason, h, at, ttlExpiry)
+		o.spans.Exit()
 	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelWarn) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelWarn, "detect")
@@ -107,7 +118,9 @@ func (o *runObserver) Detected(accused trace.NodeID, reason wire.MisbehaviorReas
 func (o *runObserver) Tested(accused trace.NodeID, passed bool, at sim.Time) {
 	o.inner.Tested(accused, passed, at)
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.Tested(accused, passed, at)
+		o.spans.Exit()
 	}
 	if o.sink != nil && o.sink.Enabled(obs.LevelDebug) {
 		rec := obs.NewRecord(time.Duration(at), obs.LevelDebug, "test")
@@ -122,7 +135,9 @@ func (o *runObserver) Tested(accused trace.NodeID, passed bool, at sim.Time) {
 // flow to the auditor only (metrics and sinks do not consume them).
 func (o *runObserver) RelayProven(por wire.Signed, at sim.Time) {
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.RelayProven(por, at)
+		o.spans.Exit()
 	}
 }
 
@@ -130,7 +145,9 @@ func (o *runObserver) RelayProven(por wire.Signed, at sim.Time) {
 // misbehavior flow to the auditor only.
 func (o *runObserver) MisbehaviorReported(pom wire.Signed, at sim.Time) {
 	if o.audit != nil {
+		o.spans.Enter(obs.SpanAudit)
 		o.audit.MisbehaviorReported(pom, at)
+		o.spans.Exit()
 	}
 }
 
@@ -169,8 +186,13 @@ func NewLegacyEventSink(w io.Writer) obs.TraceSink {
 // Enabled implements obs.TraceSink.
 func (s *legacySink) Enabled(obs.Level) bool { return true }
 
-// Emit implements obs.TraceSink.
+// Emit implements obs.TraceSink. Run-milestone records ("phase", "progress")
+// postdate the legacy format and are dropped, so the output stays
+// byte-identical to the pre-telemetry event log.
 func (s *legacySink) Emit(r obs.Record) {
+	if r.Event == "phase" || r.Event == "progress" {
+		return
+	}
 	rec := eventRecord{T: sim.Time(r.Sim).String(), Event: r.Event, Msg: r.Msg, Reason: r.Reason}
 	if r.From >= 0 {
 		rec.From = &r.From

@@ -116,7 +116,15 @@ type runStats struct {
 // one derived seed. It runs nothing: all trace generation and community
 // detection happen here, sequentially, before the scheduler fans out.
 func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
+	// Trace fetches are attributed to the trace_load span: the first call per
+	// scenario pays the synthetic-mobility generation, later ones are memoized
+	// lookups (see Scenario.Trace).
+	traceStart := time.Now()
 	tr, err := spec.scenario.Trace()
+	if o.Telemetry != nil {
+		d := time.Since(traceStart)
+		o.Telemetry.Spans.Note(obs.SpanTraceLoad, d, d)
+	}
 	if err != nil {
 		return engine.Config{}, err
 	}

@@ -120,6 +120,13 @@ type Options struct {
 	// MaxViolations caps the retained violations (the report still counts
 	// the overflow); 0 means 100.
 	MaxViolations int
+	// AssumeHonest audits the run as if its deviant set were empty: every
+	// detection then violates the honest-run rules (unexpected-detection,
+	// false-accusation). It is the supported way to drive the violation
+	// machinery end-to-end with a genuine run — a faithful audit of a
+	// faithful engine cannot fail by construction — and is what the runner's
+	// flight-recorder dump test seeds.
+	AssumeHonest bool
 }
 
 // Config fully describes what one auditor instance checks. The engine

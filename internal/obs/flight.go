@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFlightDump renders a flight-recorder post-mortem: the run's label, why
+// the dump fired (an invariant violation or run error), and the recorder's
+// trailing records oldest-first. Records render with Record.String, which
+// omits wall time, so the same run always dumps the same bytes — the property
+// the runner's golden dump test pins.
+func WriteFlightDump(w io.Writer, label, reason string, recs []Record) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "flight recorder: %s: %s\n", label, reason)
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "  (no events recorded)")
+		return
+	}
+	fmt.Fprintf(w, "  last %d events (oldest first):\n", len(recs))
+	for _, r := range recs {
+		fmt.Fprintf(w, "  %s\n", r.String())
+	}
+}

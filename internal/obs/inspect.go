@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Inspector serves a live view of a running simulation (the CLIs' -inspect
+// flag): a JSON snapshot of the telemetry registry, a Server-Sent-Events
+// stream of progress and phase transitions, and the standard pprof handlers
+// on the same mux. Everything it reads is atomic, so inspecting never
+// perturbs the single-threaded simulation.
+type Inspector struct {
+	// Addr is the listen address (":0" picks a free port; see BoundAddr).
+	Addr string
+	// Metrics is the live registry the run records into.
+	Metrics *Metrics
+	// Label names the run in snapshots and events.
+	Label string
+	// Every is the SSE poll period; values <= 0 mean one second.
+	Every time.Duration
+
+	listener net.Listener
+	server   *http.Server
+}
+
+// inspectorSnapshot is the /snapshot response envelope.
+type inspectorSnapshot struct {
+	Label     string    `json:"label,omitempty"`
+	Telemetry *Snapshot `json:"telemetry"`
+}
+
+// progressEvent is the SSE "progress" payload.
+type progressEvent struct {
+	Label       string `json:"label,omitempty"`
+	Phase       string `json:"phase,omitempty"`
+	SimNS       int64  `json:"sim_ns"`
+	EventsFired int64  `json:"events_fired"`
+	Generated   int64  `json:"generated"`
+	Delivered   int64  `json:"delivered"`
+}
+
+// Start binds the listener and begins serving. It returns a stop function
+// that shuts the server down and disconnects any open event streams.
+func (i *Inspector) Start() (stop func() error, err error) {
+	if i.Metrics == nil {
+		return nil, fmt.Errorf("inspect: nil metrics registry")
+	}
+	ln, err := net.Listen("tcp", i.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("inspect: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", i.handleSnapshot)
+	mux.HandleFunc("/events", i.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	i.listener = ln
+	i.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = i.server.Serve(ln) }()
+	return i.stop, nil
+}
+
+// BoundAddr returns the listener's address ("" before Start), resolving a
+// ":0" Addr to the actual port.
+func (i *Inspector) BoundAddr() string {
+	if i.listener == nil {
+		return ""
+	}
+	return i.listener.Addr().String()
+}
+
+func (i *Inspector) stop() error {
+	if i.server == nil {
+		return nil
+	}
+	err := i.server.Close()
+	i.server = nil
+	i.listener = nil
+	return err
+}
+
+// handleSnapshot serves the current telemetry freeze as JSON.
+func (i *Inspector) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(inspectorSnapshot{Label: i.Label, Telemetry: i.Metrics.Snapshot()})
+}
+
+// handleEvents serves the SSE stream: one "progress" event immediately and
+// then one per poll period, plus a "phase" event whenever the run crosses a
+// phase boundary between polls. The stream ends when the client disconnects
+// or the inspector stops.
+func (i *Inspector) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	every := i.Every
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+
+	lastPhase := Phase(-1)
+	send := func() {
+		m := i.Metrics
+		ev := progressEvent{
+			Label:       i.Label,
+			SimNS:       int64(m.Sim.SimNow()),
+			EventsFired: m.Sim.EventsFired.Load(),
+			Generated:   m.Engine.MessagesGenerated.Load(),
+			Delivered:   m.Engine.MessagesDelivered.Load(),
+		}
+		if p, ok := m.Engine.CurrentPhase(); ok {
+			ev.Phase = p.String()
+			if p != lastPhase {
+				lastPhase = p
+				writeSSE(w, "phase", []byte(`{"phase":"`+p.String()+`"}`))
+			}
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		writeSSE(w, "progress", data)
+		fl.Flush()
+	}
+	send()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			send()
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent-Events frame.
+func writeSSE(w http.ResponseWriter, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInspectorSmoke is the endpoint smoke test: the snapshot endpoint serves
+// decodable JSON reflecting the live registry, the SSE stream yields at least
+// one progress event, and the inspector shuts down cleanly.
+func TestInspectorSmoke(t *testing.T) {
+	m := NewMetrics()
+	m.Engine.NoteGenerated()
+	m.Engine.NoteDelivered()
+	m.Engine.EnterPhase(PhaseWindow)
+	m.Spans.Note(SpanSession, time.Millisecond, time.Millisecond)
+
+	insp := &Inspector{Addr: "127.0.0.1:0", Metrics: m, Label: "smoke", Every: 10 * time.Millisecond}
+	stop, err := insp.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+	base := "http://" + insp.BoundAddr()
+
+	// Snapshot endpoint: JSON decodes and mirrors the registry.
+	resp, err := http.Get(base + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Label     string    `json:"label"`
+		Telemetry *Snapshot `json:"telemetry"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if snap.Label != "smoke" {
+		t.Errorf("label = %q, want smoke", snap.Label)
+	}
+	if snap.Telemetry == nil || snap.Telemetry.Schema != SchemaVersion {
+		t.Fatalf("bad telemetry in snapshot: %+v", snap.Telemetry)
+	}
+	if snap.Telemetry.Engine.MessagesGenerated != 1 {
+		t.Errorf("generated = %d, want 1", snap.Telemetry.Engine.MessagesGenerated)
+	}
+	if len(snap.Telemetry.Spans) != 1 || snap.Telemetry.Spans[0].Name != "session" {
+		t.Errorf("spans not served: %+v", snap.Telemetry.Spans)
+	}
+
+	// SSE stream: at least one progress event (sent immediately) and the
+	// phase event announcing the current phase.
+	resp, err = http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var sawProgress, sawPhase bool
+	var progressData string
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var lastEvent string
+scan:
+	for !(sawProgress && sawPhase) {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE events (progress=%v phase=%v)", sawProgress, sawPhase)
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				lastEvent = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				switch lastEvent {
+				case "progress":
+					sawProgress = true
+					progressData = strings.TrimPrefix(line, "data: ")
+				case "phase":
+					sawPhase = true
+				}
+			}
+		}
+	}
+	if !sawProgress || !sawPhase {
+		t.Fatalf("stream ended early (progress=%v phase=%v)", sawProgress, sawPhase)
+	}
+	var ev struct {
+		Phase     string `json:"phase"`
+		Generated int64  `json:"generated"`
+		Delivered int64  `json:"delivered"`
+	}
+	if err := json.Unmarshal([]byte(progressData), &ev); err != nil {
+		t.Fatalf("progress event decode: %v (%s)", err, progressData)
+	}
+	if ev.Phase != "window" || ev.Generated != 1 || ev.Delivered != 1 {
+		t.Errorf("progress event = %+v, want window/1/1", ev)
+	}
+}
+
+// TestInspectorNilMetrics pins that Start refuses a missing registry instead
+// of serving panics later.
+func TestInspectorNilMetrics(t *testing.T) {
+	insp := &Inspector{Addr: "127.0.0.1:0"}
+	if _, err := insp.Start(); err == nil {
+		t.Fatal("Start with nil metrics must fail")
+	}
+}

@@ -19,6 +19,9 @@ type Metrics struct {
 	Engine   EngineStats
 	Protocol ProtocolStats
 	Crypto   CryptoStats
+	// Spans is the per-region wall/self/count profile fed by the SpanRecorder
+	// of each run (and of each runner worker); see span.go.
+	Spans SpanStats
 }
 
 // NewMetrics returns an empty registry.
@@ -37,6 +40,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 		Engine:   m.Engine.snapshot(),
 		Protocol: m.Protocol.snapshot(),
 		Crypto:   m.Crypto.snapshot(),
+		Spans:    m.Spans.snapshot(),
 	}
 }
 
@@ -158,6 +162,11 @@ type EngineStats struct {
 	// phaseNS accumulates wall time per phase (adds, so a shared registry
 	// aggregates across a sweep's runs).
 	phaseNS [numPhases]atomic.Int64
+	// curPhase mirrors the phase the run is currently executing (stored as
+	// phase+1 so the zero value reads as "no run started"), letting concurrent
+	// readers — the live inspector's progress stream — label progress without
+	// touching the single-threaded engine.
+	curPhase atomic.Int32
 }
 
 // NoteContact records one replayed contact start.
@@ -226,6 +235,27 @@ func (e *EngineStats) NotePhase(p Phase, d time.Duration) {
 		return
 	}
 	e.phaseNS[p].Add(int64(d))
+}
+
+// EnterPhase marks p as the phase the run is currently in.
+func (e *EngineStats) EnterPhase(p Phase) {
+	if e == nil || p < 0 || p >= numPhases {
+		return
+	}
+	e.curPhase.Store(int32(p) + 1)
+}
+
+// CurrentPhase returns the phase the run is in and whether any run has
+// entered a phase yet. It is safe to call from other goroutines.
+func (e *EngineStats) CurrentPhase() (Phase, bool) {
+	if e == nil {
+		return 0, false
+	}
+	v := e.curPhase.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return Phase(v - 1), true
 }
 
 // PhaseWall returns the accumulated wall time of one phase.
@@ -532,6 +562,10 @@ type Snapshot struct {
 	Engine   EngineSnapshot   `json:"engine"`
 	Protocol ProtocolSnapshot `json:"protocol"`
 	Crypto   CryptoSnapshot   `json:"crypto"`
+	// Spans is the per-region profile (span.go), present when any region was
+	// recorded. The field is additive: schema "g2g.telemetry/1" consumers that
+	// predate it keep decoding.
+	Spans []SpanSnapshot `json:"spans,omitempty"`
 	// TraceTail optionally carries the last records of a ring sink.
 	TraceTail []Record `json:"trace_tail,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
+	"give2get/internal/obs"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 	"give2get/internal/wire"
@@ -68,6 +69,8 @@ func (n *epidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
 		return false, fmt.Errorf("%w: %T vs %T", ErrProtocolMismatch, n, peer)
 	}
 	n.expire(now)
+	n.env.spans.Enter(obs.SpanRelay)
+	defer n.env.spans.Exit()
 	transferred := false
 	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
 		c := n.buffer[h]

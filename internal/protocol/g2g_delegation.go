@@ -5,6 +5,7 @@ import (
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
+	"give2get/internal/obs"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 	"give2get/internal/wire"
@@ -142,6 +143,8 @@ func (n *g2gDelegationNode) RunSession(now sim.Time, peer Node) (bool, error) {
 // --- relay phase (Fig. 6) ---
 
 func (n *g2gDelegationNode) relayPhase(now sim.Time, other *g2gDelegationNode) bool {
+	n.env.spans.Enter(obs.SpanRelay)
+	defer n.env.spans.Exit()
 	transferred := false
 	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
 		c := n.custody[h]
@@ -185,13 +188,8 @@ func (n *g2gDelegationNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gDel
 	if isDest {
 		dPrime = n.randomDecoy(other.ID())
 	}
-	fqReq := n.signed(now, wire.FQRequest{Hash: h, DPrime: dPrime})
-	fqRespEnv := other.handleFQRequest(now, fqReq)
-	if fqRespEnv == nil || fqRespEnv.Signer != other.ID() || !n.verified(*fqRespEnv) {
-		return false
-	}
-	fqResp, ok := fqRespEnv.Body.(wire.FQResponse)
-	if !ok || fqResp.Responder != other.ID() || fqResp.DPrime != dPrime {
+	fqRespEnv, fqResp, ok := n.exchangeFQ(now, h, dPrime, other)
+	if !ok {
 		return false
 	}
 
@@ -262,6 +260,26 @@ func (n *g2gDelegationNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gDel
 	n.env.Observer.Replicated(h, n.ID(), other.ID(), now)
 	n.notifyRelayProven(*por, now)
 	return true
+}
+
+// exchangeFQ runs the forwarding decision's quality exchange (Fig. 6 step 8):
+// the signed FQ_RQST to the peer and the validation of its FQ_RESP. It is the
+// "decide" span of the per-phase profile.
+func (n *g2gDelegationNode) exchangeFQ(now sim.Time, h g2gcrypto.Digest, dPrime trace.NodeID,
+	other *g2gDelegationNode) (*wire.Signed, wire.FQResponse, bool) {
+
+	n.env.spans.Enter(obs.SpanDecide)
+	defer n.env.spans.Exit()
+	fqReq := n.signed(now, wire.FQRequest{Hash: h, DPrime: dPrime})
+	fqRespEnv := other.handleFQRequest(now, fqReq)
+	if fqRespEnv == nil || fqRespEnv.Signer != other.ID() || !n.verified(*fqRespEnv) {
+		return nil, wire.FQResponse{}, false
+	}
+	fqResp, ok := fqRespEnv.Body.(wire.FQResponse)
+	if !ok || fqResp.Responder != other.ID() || fqResp.DPrime != dPrime {
+		return nil, wire.FQResponse{}, false
+	}
+	return fqRespEnv, fqResp, true
 }
 
 // randomDecoy picks a uniform node different from exclude (and from this
@@ -391,6 +409,8 @@ func (n *g2gDelegationNode) auditAttachments(now sim.Time, h g2gcrypto.Digest, g
 // --- test by the sender (Section VI-B) ---
 
 func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
+	n.env.spans.Enter(obs.SpanTest)
+	defer n.env.spans.Exit()
 	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
@@ -409,8 +429,12 @@ func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
+			// The PoR span covers both sides of the proof: the challenged
+			// relay producing it and the source verifying it.
+			n.env.spans.Enter(obs.SpanPoR)
 			resp := other.handlePORChallenge(now, challenge)
 			passed, reason, evidence := n.evaluateTestResponse(c, pt, seed, resp)
+			n.env.spans.Exit()
 			n.noteTested(passed)
 			n.env.Observer.Tested(other.ID(), passed, now)
 			if !passed {

@@ -5,6 +5,7 @@ import (
 
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/message"
+	"give2get/internal/obs"
 	"give2get/internal/sim"
 	"give2get/internal/trace"
 	"give2get/internal/wire"
@@ -116,6 +117,8 @@ func (n *g2gEpidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
 // --- test phase (Fig. 2) ---
 
 func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
+	n.env.spans.Enter(obs.SpanTest)
+	defer n.env.spans.Exit()
 	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
@@ -135,8 +138,12 @@ func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
+			// The PoR span covers both sides of the proof: the challenged
+			// relay producing it and the source verifying it.
+			n.env.spans.Enter(obs.SpanPoR)
 			resp := other.handlePORChallenge(now, challenge)
 			passed := n.evaluateTestResponse(c, other.ID(), seed, resp)
+			n.env.spans.Exit()
 			n.noteTested(passed)
 			n.env.Observer.Tested(other.ID(), passed, now)
 			if !passed {
@@ -222,6 +229,8 @@ func (n *g2gEpidemicNode) handlePORChallenge(now sim.Time, challenge wire.Signed
 // --- relay phase (Fig. 1) ---
 
 func (n *g2gEpidemicNode) relayPhase(now sim.Time, other *g2gEpidemicNode) bool {
+	n.env.spans.Enter(obs.SpanRelay)
+	defer n.env.spans.Exit()
 	transferred := false
 	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
 		c := n.custody[h]

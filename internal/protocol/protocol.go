@@ -278,6 +278,10 @@ type Env struct {
 	// nothing at the cost of a pointer test.
 	stats  *obs.ProtocolStats
 	crypto *obs.CryptoStats
+	// spans is the optional span recorder attached with SetSpans. Like the
+	// Env itself it belongs to one single-threaded run; nil (the default for
+	// unit-test Envs) disables region profiling at the cost of a pointer test.
+	spans *obs.SpanRecorder
 
 	// wireScratch is the run-wide signing-input buffer. An Env serves
 	// exactly one single-threaded run, so one scratch is enough for every
@@ -295,6 +299,11 @@ func (e *Env) SetMetrics(m *obs.Metrics) {
 	e.stats, e.crypto = &m.Protocol, &m.Crypto
 	m.Protocol.SetKindNamer(func(k uint8) string { return wire.Kind(k).String() })
 }
+
+// SetSpans attaches a span recorder to the environment, enabling per-region
+// profiling of the protocol steps (relay/test/decide, PoR/PoM, heavy HMAC).
+// A nil recorder detaches.
+func (e *Env) SetSpans(r *obs.SpanRecorder) { e.spans = r }
 
 // NewEnv validates and assembles an environment.
 func NewEnv(sys g2gcrypto.System, params Params, observer Observer, rng *sim.RNG) (*Env, error) {
@@ -386,16 +395,24 @@ func (b *base) signed(at sim.Time, body wire.Body) wire.Signed {
 }
 
 // heavyHMAC computes the storage proof, accounting both the per-node usage
-// and the run telemetry (count, wall time, iterations).
+// and the run telemetry (count, wall time, iterations). The keystream work is
+// the dominant crypto cost, so it gets its own span; cheap envelope
+// sign/verify deliberately does not (it is counted in CryptoStats instead).
 func (b *base) heavyHMAC(msg, seed []byte, iterations int) g2gcrypto.Digest {
 	b.noteHMAC(iterations)
-	return g2gcrypto.TimedHeavyHMAC(b.env.crypto, msg, seed, iterations)
+	b.env.spans.Enter(obs.SpanCrypto)
+	mac := g2gcrypto.TimedHeavyHMAC(b.env.crypto, msg, seed, iterations)
+	b.env.spans.Exit()
+	return mac
 }
 
 // verifyHeavyHMAC verifies a storage proof with the same accounting.
 func (b *base) verifyHeavyHMAC(msg, seed []byte, iterations int, response g2gcrypto.Digest) bool {
 	b.noteHMAC(iterations)
-	return g2gcrypto.TimedVerifyHeavyHMAC(b.env.crypto, msg, seed, iterations, response)
+	b.env.spans.Enter(obs.SpanCrypto)
+	ok := g2gcrypto.TimedVerifyHeavyHMAC(b.env.crypto, msg, seed, iterations, response)
+	b.env.spans.Exit()
+	return ok
 }
 
 // noteTestStarted, noteTested, and noteQualityUpdate forward to the run
@@ -436,6 +453,8 @@ func (b *base) deviates(peer trace.NodeID) bool {
 // accused. Invalid proofs (bad envelope or evidence not signed by the
 // accused) are ignored, so nobody can frame a faithful node.
 func (b *base) acceptPoM(pom wire.Signed) {
+	b.env.spans.Enter(obs.SpanPoM)
+	defer b.env.spans.Exit()
 	if !pom.Verify(b.env.Sys) {
 		return
 	}
@@ -454,10 +473,14 @@ func (b *base) acceptPoM(pom wire.Signed) {
 func (b *base) reportMisbehavior(now sim.Time, accused trace.NodeID, reason wire.MisbehaviorReason,
 	evidence []wire.Signed, hash g2gcrypto.Digest, ttlExpiry sim.Time) {
 
+	// The PoM span covers assembly and validation of the accuser's proof; the
+	// broadcast stays outside it, so each receiver's acceptPoM opens its own.
+	b.env.spans.Enter(obs.SpanPoM)
 	body := wire.Misbehavior{Accused: accused, Reason: reason, Evidence: evidence}
 	if !body.ValidEvidence(b.env.Sys) {
 		// The accuser itself must hold verifiable evidence; otherwise the
 		// network would ignore the broadcast anyway.
+		b.env.spans.Exit()
 		return
 	}
 	b.blacklist[accused] = struct{}{}
@@ -466,6 +489,7 @@ func (b *base) reportMisbehavior(now sim.Time, accused trace.NodeID, reason wire
 	if po, ok := b.env.Observer.(PoMObserver); ok {
 		po.MisbehaviorReported(pom, now)
 	}
+	b.env.spans.Exit()
 	if b.env.Broadcast != nil {
 		b.env.Broadcast(pom)
 	}

@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"give2get/internal/invariant"
+	"give2get/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// flightSpec is a genuine dropper run audited under AssumeHonest: the engine
+// detects the droppers as designed, and the auditor — told the run has no
+// deviants — flags every detection as an honest-run violation. That is the
+// supported way to make a real run fail StrictAudit (a faithful audit of a
+// faithful engine cannot fail, see TestPromoteAudit) and so drive the
+// flight-recorder dump end to end.
+func flightSpec(t testing.TB) Spec {
+	t.Helper()
+	cfg := baseConfig(testTrace(t), DeriveSeed(1, 0))
+	cfg.Audit = &invariant.Options{Label: "flight", AssumeHonest: true}
+	// A generous ring so the dump tail reaches back past the window/drain
+	// phase transitions and the early detections, not just the trailing
+	// deliveries.
+	cfg.FlightRecorder = 4096
+	return Spec{Label: "flight-dump", Config: cfg}
+}
+
+// TestFlightDumpOnStrictAuditViolation pins the failure post-mortem byte for
+// byte: a StrictAudit violation writes a flight-recorder dump carrying the
+// run label, the promoted audit error, and the trailing trace events —
+// including the detect records naming the violating message digests and the
+// phase transitions leading up to them. Everything in the dump is
+// simulation-time deterministic (Record.String omits wall time), so it
+// goldens cleanly.
+func TestFlightDumpOnStrictAuditViolation(t *testing.T) {
+	var dump bytes.Buffer
+	out, err := Run([]Spec{flightSpec(t)}, Options{
+		Jobs:        1,
+		Policy:      CollectAll,
+		StrictAudit: true,
+		FlightDump:  &dump,
+	})
+	if err == nil {
+		t.Fatal("AssumeHonest audit of a deviant run did not fail StrictAudit")
+	}
+	res := out[0].Result
+	if res == nil || res.Audit == nil || res.Audit.Ok() {
+		t.Fatalf("expected a failing audit report, got %+v", out[0])
+	}
+	if len(res.FlightRecords) == 0 {
+		t.Fatal("audited run captured no flight records")
+	}
+
+	got := dump.String()
+	if !strings.HasPrefix(got, "flight recorder: flight-dump: ") {
+		t.Errorf("dump header missing label:\n%s", got)
+	}
+	if !strings.Contains(got, invariant.RuleUnexpectedDetection) {
+		t.Errorf("dump reason does not carry the violated rule:\n%s", got)
+	}
+	// The violating message digests are the ones the detect events name; the
+	// dump must carry them.
+	var detects int
+	for _, r := range res.FlightRecords {
+		if r.Event != "detect" {
+			continue
+		}
+		detects++
+		if !strings.Contains(got, "detect msg="+r.Msg) {
+			t.Errorf("dump missing violating message digest %s", r.Msg)
+		}
+	}
+	if detects == 0 {
+		t.Error("flight tail holds no detect events")
+	}
+	// The tail must also show the run phases the failure happened in.
+	if !strings.Contains(got, "phase reason=window") || !strings.Contains(got, "phase reason=drain") {
+		t.Errorf("dump missing phase transition events:\n%s", got)
+	}
+
+	path := filepath.Join("testdata", "flight_dump.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, dump.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test ./internal/runner -update`): %v", err)
+	}
+	if !bytes.Equal(dump.Bytes(), want) {
+		t.Errorf("flight dump drifted from %s — if intended, regenerate with `go test ./internal/runner -update`\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestFlightDumpQuietOnSuccess: a clean batch writes nothing to FlightDump.
+func TestFlightDumpQuietOnSuccess(t *testing.T) {
+	var dump bytes.Buffer
+	specs := []Spec{{Label: "clean", Config: baseConfig(testTrace(t), 1)}}
+	if _, err := Run(specs, Options{Jobs: 1, StrictAudit: true, FlightDump: &dump}); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Len() != 0 {
+		t.Errorf("clean batch wrote a flight dump:\n%s", dump.String())
+	}
+}
+
+// TestSweepSpansAggregateAcrossWorkers runs a batch on four workers sharing
+// one registry and requires the per-phase span table to have aggregated every
+// run: one sweep_dispatch note per spec, and engine/protocol/crypto spans
+// from inside the runs. Under `go test -race ./internal/runner` (see `make
+// race`) this doubles as the data-race check for concurrent span recording
+// into a shared SpanStats.
+func TestSweepSpansAggregateAcrossWorkers(t *testing.T) {
+	tr := testTrace(t)
+	shared := obs.NewMetrics()
+	const runs = 8
+	specs := make([]Spec, runs)
+	for i := range specs {
+		specs[i] = Spec{Label: labelFor(i), Config: baseConfig(tr, DeriveSeed(1, i))}
+	}
+	if _, err := Run(specs, Options{Jobs: 4, Telemetry: shared}); err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Spans.Count(obs.SpanDispatch); got != runs {
+		t.Errorf("sweep_dispatch count = %d, want %d (one per spec)", got, runs)
+	}
+	for _, sp := range []obs.Span{obs.SpanSchedule, obs.SpanSession, obs.SpanRelay, obs.SpanTest, obs.SpanPoR, obs.SpanCrypto} {
+		if shared.Spans.Count(sp) == 0 {
+			t.Errorf("span %s never recorded across the sweep", sp)
+		}
+	}
+	// The snapshot orders spans by declaration, dispatch last among these.
+	snap := shared.Snapshot()
+	if len(snap.Spans) == 0 || snap.Spans[len(snap.Spans)-1].Name != obs.SpanDispatch.String() {
+		t.Errorf("snapshot span table missing or misordered: %+v", snap.Spans)
+	}
+}

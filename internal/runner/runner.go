@@ -73,6 +73,12 @@ type Options struct {
 	// violations) to a run error, subject to Policy like any other failure.
 	// Runs without an audit report are unaffected.
 	StrictAudit bool
+	// FlightDump, when non-nil, receives a flight-recorder dump (the run's
+	// last trace events, see obs.WriteFlightDump) for every failed run that
+	// captured one — audited runs keep a bounded ring by default. Dumps from
+	// concurrent workers are serialized; within one run the dump is
+	// deterministic (simulation-time stamps only).
+	FlightDump io.Writer
 }
 
 // Outcome is the result slot of one spec, indexed like the input specs.
@@ -137,6 +143,7 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 		stop      atomic.Bool  // FailFast latch
 		completed atomic.Int64 // finished runs, for progress numbering
 		progMu    sync.Mutex   // serializes progress lines
+		dumpMu    sync.Mutex   // serializes flight-recorder dumps
 		wg        sync.WaitGroup
 	)
 	worker := func() {
@@ -157,9 +164,23 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 			}
 			start := time.Now()
 			res, err := engine.Run(cfg)
+			runWall := time.Since(start)
 			err = promoteAudit(err, opts.StrictAudit, res)
 			out[i].Result, out[i].Err = res, err
 			out[i].Wall = time.Since(start)
+			if opts.Telemetry != nil {
+				// The dispatch span is the scheduler's own overhead for this
+				// spec: everything around engine.Run (audit promotion, slot
+				// bookkeeping), not the run itself — runs account for their
+				// own phases.
+				d := out[i].Wall - runWall
+				opts.Telemetry.Spans.Note(obs.SpanDispatch, d, d)
+			}
+			if err != nil && opts.FlightDump != nil && res != nil && len(res.FlightRecords) > 0 {
+				dumpMu.Lock()
+				obs.WriteFlightDump(opts.FlightDump, specs[i].Label, err.Error(), res.FlightRecords)
+				dumpMu.Unlock()
+			}
 			if err != nil && opts.Policy == FailFast {
 				stop.Store(true)
 			}
