@@ -10,7 +10,7 @@ BENCH_MAX_REGRESS ?= 10
 # (wide because single-iteration wall times are noisy; 0 disables).
 BENCH_NS_TOLERANCE ?= 25
 
-.PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover check ci
+.PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover trace-roundtrip check ci
 
 all: check
 
@@ -63,6 +63,7 @@ bench-diff:
 # `go test` already replays the committed seed corpora.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTrace -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzParseBinaryTrace -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalSigned -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzParseKind -fuzztime=$(FUZZTIME) ./internal/protocol
 	$(GO) test -run='^$$' -fuzz=FuzzParamsValidate -fuzztime=$(FUZZTIME) ./internal/protocol
@@ -79,13 +80,30 @@ cover:
 	} END { exit bad }' cover.txt && echo "cover: all packages >= $(COVER_FLOOR)%"
 	@rm -f cover.txt
 
+# Streaming-format gate run against the real CLIs: generate a trace, take
+# its canonical text form (one parse/serialize pass fixes the listing's
+# millisecond precision and ordering), then require text -> binary .g2gt ->
+# text to reproduce it byte for byte (the format's lossless contract; see
+# DESIGN.md "Trace pipeline").
+trace-roundtrip:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/tracegen -preset infocom05 -out $$dir/raw.txt && \
+	$(GO) run ./cmd/traceconv -in $$dir/raw.txt -out $$dir/a.txt && \
+	$(GO) run ./cmd/traceconv -in $$dir/a.txt -out $$dir/a.g2gt && \
+	$(GO) run ./cmd/traceconv -in $$dir/a.g2gt -out $$dir/b.txt && \
+	cmp $$dir/a.txt $$dir/b.txt; \
+	status=$$?; rm -rf $$dir; \
+	if [ $$status -ne 0 ]; then echo "trace-roundtrip: FAILED"; exit $$status; fi; \
+	echo "trace-roundtrip: text -> binary -> text byte-identical"
+
 check: build vet test race
 
 # ci is the documented verification entry point: build, vet, the coverage
-# floor, the race pass, the benchmark smoke pass, a quick-mode experiment
-# smoke run through the parallel scheduler, and a fully audited honest run on
-# each preset (the auditor fails the command on any invariant violation).
-ci: build vet cover race bench-smoke
+# floor, the race pass, the benchmark smoke pass, the trace-format round-trip
+# gate, a quick-mode experiment smoke run through the parallel scheduler, and
+# a fully audited honest run on each preset (the auditor fails the command on
+# any invariant violation).
+ci: build vet cover race bench-smoke trace-roundtrip
 	$(GO) run ./cmd/g2gexp -experiment secV -quick -jobs 0 >/dev/null
 	$(GO) run ./cmd/g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 10m -interval 60s -audit >/dev/null
 	$(GO) run ./cmd/g2gsim -preset cambridge06 -protocol g2g-delegation-frequency -ttl 10m -interval 60s -audit >/dev/null

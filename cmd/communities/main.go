@@ -30,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs.SetOutput(stderr)
 	var (
 		preset    = fs.String("preset", "infocom05", "trace preset (infocom05|cambridge06)")
-		tracePath = fs.String("trace", "", "CRAWDAD-style contact file (overrides -preset)")
+		tracePath = fs.String("trace", "", "contact trace file, text or binary .g2gt (overrides -preset)")
 		seed      = fs.Int64("seed", 42, "generation seed for presets")
 	)
 	var prof obs.Profiler
@@ -50,12 +50,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 	var tr *give2get.Trace
 	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err = give2get.ParseTrace(f)
+		tr, err = give2get.OpenTrace(*tracePath)
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		format     = fs.String("format", "text", "output format: text or csv")
 		verbose    = fs.Bool("v", false, "log every completed run")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
+		tracePath  = fs.String("trace", "", "contact trace file, text or binary .g2gt, replacing every scenario's synthetic dataset")
 		telemetry  = fs.String("telemetry", "", "write an aggregated JSON run report over all runs to this file")
 		inspect    = fs.String("inspect", "", "serve a live experiment inspector on this address (e.g. :6060): JSON telemetry at /snapshot, SSE progress at /events, pprof under /debug/pprof/")
 	)
@@ -62,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	opts := experiments.Options{Quick: *quick, Tiny: *tiny, Audit: *audit, Seed: *seed, Repeats: *repeats, Jobs: *jobs}
+	opts := experiments.Options{Quick: *quick, Tiny: *tiny, Audit: *audit, Seed: *seed, Repeats: *repeats, Jobs: *jobs, TracePath: *tracePath}
 	if *verbose {
 		opts.Progress = stderr
 	}

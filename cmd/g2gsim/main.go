@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs.SetOutput(stderr)
 	var (
 		preset    = fs.String("preset", "infocom05", "built-in trace preset (infocom05|cambridge06|campus-spatial)")
-		tracePath = fs.String("trace", "", "CRAWDAD-style contact file (overrides -preset)")
+		tracePath = fs.String("trace", "", "contact trace file, text or binary .g2gt (overrides -preset)")
 		proto     = fs.String("protocol", "g2g-epidemic", "forwarding protocol")
 		ttl       = fs.Duration("ttl", 30*time.Minute, "message TTL Δ1 (Δ2 = 2×TTL)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
@@ -78,12 +78,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	var tr *give2get.Trace
 	traceStart := time.Now()
 	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err = give2get.ParseTrace(f)
+		tr, err = give2get.OpenTrace(*tracePath)
 		if err != nil {
 			return err
 		}

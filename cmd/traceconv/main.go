@@ -1,0 +1,155 @@
+// Command traceconv converts contact traces between the CRAWDAD-style text
+// listing and the compact sorted binary format (.g2gt) the toolchain
+// streams, and prints trace metadata. Conversion streams in both directions:
+// a text import runs through an external merge sort, so traces of any size
+// convert in bounded memory.
+//
+// Usage:
+//
+//	traceconv -in infocom.txt -out infocom.g2gt    # text -> binary
+//	traceconv -in big.g2gt -out big.txt            # binary -> text
+//	traceconv -in big.g2gt -info                   # metadata only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"give2get/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceconv", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in          = fs.String("in", "", "input trace (text or binary, sniffed from content)")
+		out         = fs.String("out", "", "output file; a .g2gt extension selects the binary format, anything else text")
+		info        = fs.Bool("info", false, "print the input's metadata instead of converting")
+		runContacts = fs.Int("run-contacts", 0, "text import: external-sort run buffer in contacts (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	if *info {
+		return printInfo(stdout, *in)
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required (or use -info)")
+	}
+	if strings.HasSuffix(*out, trace.BinaryExt) {
+		return toBinary(*in, *out, *runContacts)
+	}
+	return toText(*in, *out)
+}
+
+// printInfo reports a trace's metadata. For binary inputs this reads only
+// the header and footer, never the contacts.
+func printInfo(stdout io.Writer, path string) error {
+	src, err := trace.Open(path)
+	if err != nil {
+		return err
+	}
+	format := "text"
+	if _, ok := src.(*trace.BinarySource); ok {
+		format = "binary"
+	}
+	n, err := trace.LenOf(src)
+	if err != nil {
+		return err
+	}
+	first, last, err := trace.SpanOf(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "name:     %s\n", src.Name())
+	fmt.Fprintf(stdout, "format:   %s\n", format)
+	fmt.Fprintf(stdout, "nodes:    %d\n", src.Nodes())
+	fmt.Fprintf(stdout, "contacts: %d\n", n)
+	fmt.Fprintf(stdout, "span:     %v .. %v (%v)\n",
+		first.Duration(), last.Duration(), (last - first).Duration().Round(time.Second))
+	return nil
+}
+
+// toBinary imports any trace into a sorted binary file. Text inputs stream
+// through the scanner and an external merge sort, so the contacts are never
+// all in memory; already-binary inputs stream cursor-to-writer.
+func toBinary(in, out string, runContacts int) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == len(magic) && trace.IsBinaryMagic(magic[:]) {
+		// Already binary and therefore already sorted: stream straight
+		// through a writer (re-blocking and re-validating on the way).
+		src, err := trace.OpenBinary(in)
+		if err != nil {
+			return err
+		}
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteBinary(g, src); err != nil {
+			g.Close()
+			os.Remove(out)
+			return err
+		}
+		return g.Close()
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sc := trace.NewTextScanner(f)
+	w := trace.NewExtWriter(out, "", 0, trace.ExtOptions{RunContacts: runContacts})
+	for {
+		c, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if err := w.Add(c); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// The scanner only knows the header values once the scan is done.
+	w.SetName(sc.Name())
+	w.SetMinNodes(sc.Nodes())
+	return w.Close()
+}
+
+// toText exports any trace as a CRAWDAD-style listing, streaming.
+func toText(in, out string) error {
+	src, err := trace.Open(in)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteText(f, src); err != nil {
+		f.Close()
+		os.Remove(out)
+		return err
+	}
+	return f.Close()
+}

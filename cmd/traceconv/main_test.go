@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"give2get/internal/mobility"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// writeTextFixture generates a small trace and writes its text listing.
+func writeTextFixture(t *testing.T, dir string) (path string, tr *trace.Trace) {
+	t.Helper()
+	tr, err := mobility.Generate(mobility.Config{
+		Name:           "conv-test",
+		CommunitySizes: []int{5, 5},
+		Duration:       8 * sim.Hour,
+		Within:         mobility.PairParams{ShortGap: 10 * sim.Minute, LongGap: 2 * sim.Hour, BurstProb: 0.5},
+		Across:         mobility.PairParams{ShortGap: 30 * sim.Minute, LongGap: 4 * sim.Hour, BurstProb: 0.3},
+		ContactMean:    2 * sim.Minute,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(dir, "in.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path, tr
+}
+
+func TestConvertTextBinaryText(t *testing.T) {
+	dir := t.TempDir()
+	textPath, tr := writeTextFixture(t, dir)
+	binPath := filepath.Join(dir, "mid.g2gt")
+	backPath := filepath.Join(dir, "back.txt")
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", textPath, "-out", binPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", binPath, "-out", backPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := os.ReadFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, back) {
+		t.Fatal("text -> binary -> text round trip is not byte-identical")
+	}
+
+	src, err := trace.Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Nodes() != tr.Nodes() || src.Name() != tr.Name() {
+		t.Errorf("binary header %s/%d, want %s/%d",
+			src.Name(), src.Nodes(), tr.Name(), tr.Nodes())
+	}
+	if n, err := trace.LenOf(src); err != nil || n != tr.Len() {
+		t.Errorf("binary count %d (%v), want %d", n, err, tr.Len())
+	}
+}
+
+func TestConvertBinaryToBinary(t *testing.T) {
+	dir := t.TempDir()
+	textPath, tr := writeTextFixture(t, dir)
+	binPath := filepath.Join(dir, "a.g2gt")
+	copyPath := filepath.Join(dir, "b.g2gt")
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", textPath, "-out", binPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", binPath, "-out", copyPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.Open(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Nodes() != tr.Nodes() {
+		t.Fatalf("copy shape %d/%d, want %d/%d",
+			got.Nodes(), got.Len(), tr.Nodes(), tr.Len())
+	}
+}
+
+func TestInfo(t *testing.T) {
+	dir := t.TempDir()
+	textPath, _ := writeTextFixture(t, dir)
+	binPath := filepath.Join(dir, "x.g2gt")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", textPath, "-out", binPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", binPath, "-info"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"format:   binary", "nodes:    10", "contacts:", "span:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", textPath, "-info"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "format:   text") {
+		t.Errorf("info output missing text format:\n%s", out.String())
+	}
+}
+
+func TestMissingFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "x.txt"}, &out, &errOut); err == nil {
+		t.Error("missing -out accepted")
+	}
+}

@@ -58,3 +58,54 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunWritesBinaryByExtension(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.g2gt")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "infocom05", "-seed", "7", "-out", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := give2get.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 41 {
+		t.Errorf("nodes = %d, want 41", tr.Nodes())
+	}
+	if tr.Contacts() <= 0 {
+		t.Errorf("contacts = %d", tr.Contacts())
+	}
+}
+
+func TestRunLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "large.g2gt")
+	var out, errOut bytes.Buffer
+	args := []string{"-large", "-communities", "8", "-community-size", "4",
+		"-across-degree", "1", "-hours", "3", "-run-contacts", "1024", "-out", path}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := give2get.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 32 {
+		t.Errorf("nodes = %d, want 32", tr.Nodes())
+	}
+	if tr.Contacts() <= 0 {
+		t.Errorf("contacts = %d", tr.Contacts())
+	}
+	if !strings.Contains(out.String(), "contacts") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+func TestRunLargeRequiresBinaryOut(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-large", "-out", "x.txt"}, &out, &errOut); err == nil {
+		t.Error("-large with text output accepted")
+	}
+	if err := run([]string{"-large"}, &out, &errOut); err == nil {
+		t.Error("-large without -out accepted")
+	}
+}

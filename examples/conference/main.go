@@ -18,7 +18,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("conference trace: %d nodes over %v\n\n", tr.Nodes(), tr.Stats().Span)
+	stats, err := tr.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conference trace: %d nodes over %v\n\n", tr.Nodes(), stats.Span)
 
 	fmt.Println("droppers  epidemic-delivery%  g2g-delivery%  g2g-detected%  detect-after-TTL")
 	for _, droppers := range []int{0, 10, 20, 30} {

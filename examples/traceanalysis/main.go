@@ -1,13 +1,20 @@
-// Traceanalysis: inspect a synthetic dataset the way the PSN literature
+// Traceanalysis: inspect a contact dataset the way the PSN literature
 // characterizes the real ones — inter-contact time distribution (the CCDF
 // whose heavy tail with exponential cut-off the Give2Get test phases rely
 // on), community structure, and headline statistics. Useful for validating
 // a custom trace before running forwarding experiments on it.
+//
+// With no arguments it analyzes the built-in synthetic presets; pass trace
+// file paths (CRAWDAD text or binary .g2gt, the format is sniffed) to
+// analyze your own datasets:
+//
+//	go run ./examples/traceanalysis big.g2gt contacts.txt
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -15,40 +22,61 @@ import (
 )
 
 func main() {
+	if paths := os.Args[1:]; len(paths) > 0 {
+		for _, path := range paths {
+			tr, err := give2get.OpenTrace(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analyze(tr)
+		}
+		return
+	}
 	for _, preset := range []give2get.Preset{give2get.PresetInfocom05, give2get.PresetCambridge06} {
 		tr, err := give2get.GenerateTrace(preset, 42)
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats := tr.Stats()
-		fmt.Printf("=== %s ===\n", tr.Name())
-		fmt.Printf("nodes %d, contacts %d over %v\n", stats.Nodes, stats.Contacts,
-			stats.Span.Round(time.Hour))
-		fmt.Printf("mean contact %v, mean inter-contact %v\n",
-			stats.MeanContact.Round(time.Second),
-			stats.MeanInterContact.Round(time.Minute))
-
-		comms, err := tr.Communities()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("k-clique communities: %d (sizes:", len(comms))
-		for _, c := range comms {
-			fmt.Printf(" %d", len(c))
-		}
-		fmt.Println(")")
-
-		// A compact log-log view of the inter-contact CCDF: the paper's test
-		// phase (Δ2 = 2Δ1) works because most pairs re-meet within tens of
-		// minutes, i.e. the CCDF has already fallen steeply by ~1 h.
-		fmt.Println("inter-contact CCDF (fraction of re-meet gaps exceeding T):")
-		for _, p := range tr.InterContactCCDF(24) {
-			if p.T < time.Minute {
-				continue
-			}
-			bar := strings.Repeat("#", int(p.Fraction*40))
-			fmt.Printf("  %8v %5.1f%% %s\n", p.T.Round(time.Minute), 100*p.Fraction, bar)
-		}
-		fmt.Println()
+		analyze(tr)
 	}
+}
+
+func analyze(tr *give2get.Trace) {
+	stats, err := tr.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", tr.Name())
+	fmt.Printf("nodes %d, contacts %d over %v\n", stats.Nodes, stats.Contacts,
+		stats.Span.Round(time.Hour))
+	fmt.Printf("mean contact %v, mean inter-contact %v\n",
+		stats.MeanContact.Round(time.Second),
+		stats.MeanInterContact.Round(time.Minute))
+
+	comms, err := tr.Communities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-clique communities: %d (sizes:", len(comms))
+	for _, c := range comms {
+		fmt.Printf(" %d", len(c))
+	}
+	fmt.Println(")")
+
+	// A compact log-log view of the inter-contact CCDF: the paper's test
+	// phase (Δ2 = 2Δ1) works because most pairs re-meet within tens of
+	// minutes, i.e. the CCDF has already fallen steeply by ~1 h.
+	fmt.Println("inter-contact CCDF (fraction of re-meet gaps exceeding T):")
+	ccdf, err := tr.InterContactCCDF(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range ccdf {
+		if p.T < time.Minute {
+			continue
+		}
+		bar := strings.Repeat("#", int(p.Fraction*40))
+		fmt.Printf("  %8v %5.1f%% %s\n", p.T.Round(time.Minute), 100*p.Fraction, bar)
+	}
+	fmt.Println()
 }

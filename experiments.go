@@ -12,11 +12,12 @@ func experimentIDs() []string {
 
 func runExperiment(id string, opts ExperimentOptions) (string, error) {
 	tables, err := experiments.Run(id, experiments.Options{
-		Quick:   opts.Quick,
-		Seed:    opts.Seed,
-		Repeats: opts.Repeats,
-		Jobs:    opts.Jobs,
-		Audit:   opts.Audit,
+		Quick:     opts.Quick,
+		Seed:      opts.Seed,
+		Repeats:   opts.Repeats,
+		Jobs:      opts.Jobs,
+		Audit:     opts.Audit,
+		TracePath: opts.TracePath,
 	})
 	if err != nil {
 		return "", err

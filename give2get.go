@@ -200,7 +200,7 @@ type DetectionInfo struct {
 // engineConfig resolves a SimulationConfig into the engine's configuration
 // with the given seed; Run and RunSweep share it.
 func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
-	if cfg.Trace == nil || cfg.Trace.inner == nil {
+	if cfg.Trace == nil || cfg.Trace.src == nil {
 		return engine.Config{}, errors.New("give2get: config needs a trace")
 	}
 	kind, err := protocol.ParseKind(string(cfg.Protocol))
@@ -230,7 +230,7 @@ func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 	}
 
 	ecfg := engine.Config{
-		Trace:         cfg.Trace.inner,
+		Trace:         cfg.Trace.src,
 		Protocol:      kind,
 		Params:        protocol.DefaultParams(sim.Time(cfg.TTL)),
 		Seed:          seed,
@@ -257,7 +257,10 @@ func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 
 	windowStart := sim.Time(cfg.WindowStart)
 	if windowStart == 0 {
-		first, _ := cfg.Trace.inner.Span()
+		first, _, err := trace.SpanOf(cfg.Trace.src)
+		if err != nil {
+			return engine.Config{}, fmt.Errorf("give2get: trace span: %w", err)
+		}
 		windowStart = first + sim.Hour
 	}
 	engine.DefaultWorkload(&ecfg, windowStart)
@@ -402,6 +405,9 @@ type ExperimentOptions struct {
 	// Audit runs the invariant auditor on every simulation of the
 	// experiment; any violation fails the experiment with an error.
 	Audit bool
+	// TracePath, when non-empty, replaces every scenario's synthetic
+	// dataset with a trace file (text or binary .g2gt, as OpenTrace).
+	TracePath string
 }
 
 // RunExperiment regenerates one of the paper's tables or figures and returns

@@ -34,7 +34,10 @@ func TestGenerateTracePresets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", preset, err)
 		}
-		stats := tr.Stats()
+		stats, err := tr.Stats()
+		if err != nil {
+			t.Fatalf("%s: stats: %v", preset, err)
+		}
 		if stats.Nodes < 30 || stats.Contacts < 1000 {
 			t.Errorf("%s stats = %+v", preset, stats)
 		}

@@ -48,9 +48,12 @@ const (
 
 // Config fully describes one simulation run.
 type Config struct {
-	// Trace is the full contact trace; the experiment runs on a window of
-	// it (all times below are absolute trace times).
-	Trace *trace.Trace
+	// Trace is the full contact source; the experiment runs on a window of
+	// it (all times below are absolute trace times). An in-memory
+	// *trace.Trace works as before; a streaming source (e.g.
+	// trace.OpenBinary) lets the engine replay traces that never fit in
+	// RAM — the contact scheduler pulls from a cursor either way.
+	Trace trace.Source
 	// Protocol selects the forwarding protocol all nodes run.
 	Protocol protocol.Kind
 	// Params are the protocol constants (Δ1, Δ2, fan-out, ...).
@@ -231,10 +234,21 @@ type engine struct {
 	// cascadeBuf is the reusable BFS queue for cascadeFrom.
 	cascadeBuf []trace.NodeID
 
-	// contacts aliases the trace's sorted contact slice; the streaming
-	// scheduler walks it with a cursor instead of enqueueing every interval
-	// up front, keeping the event queue O(active contacts).
-	contacts []trace.Contact
+	// cursor streams the trace's sorted contacts; the scheduler keeps at
+	// most one un-fired start event (pending) plus the active ends in the
+	// queue, so memory stays O(active contacts) even for on-disk sources.
+	cursor trace.Cursor
+	// cursorIdx counts every contact the cursor has yielded (scheduled or
+	// skipped); it is the same index a materialized slice would have, so
+	// the per-contact priority bands — and therefore same-instant event
+	// order and the audit digest — are identical across source kinds.
+	cursorIdx int
+	// pending is the contact whose start event is currently enqueued; the
+	// chained scheduler guarantees there is at most one.
+	pending trace.Contact
+	// cursorErr records a cursor read failure; the scheduler stops pulling
+	// and run() surfaces it once the kernel drains.
+	cursorErr error
 	// gens is the pre-drawn Poisson workload (drawing everything up front
 	// preserves the seeded RNG draw order the closures used to lock in).
 	gens []workloadGen
@@ -353,7 +367,6 @@ func newEngine(cfg Config) (*engine, error) {
 		sink:        sink,
 		active:      make(map[trace.PairKey]int),
 		neighbors:   make([][]trace.NodeID, population),
-		contacts:    cfg.Trace.Contacts(),
 		workloadRNG: sim.StreamFromSeed(cfg.Seed, "workload"),
 	}
 	env.Broadcast = e.broadcast
@@ -402,8 +415,14 @@ func (e *engine) buildBehavior() (protocol.Behavior, error) {
 	}
 	comms := e.cfg.Communities
 	if comms == nil {
-		var err error
-		comms, err = kclique.DetectAuto(e.cfg.Trace, kclique.DefaultOptions().K)
+		// Community detection needs random access; a streaming source pays
+		// one materialization here. Large-trace runs should pre-detect and
+		// pass Config.Communities instead.
+		tr, err := trace.Materialize(e.cfg.Trace)
+		if err != nil {
+			return b, fmt.Errorf("engine: community detection: %w", err)
+		}
+		comms, err = kclique.DetectAuto(tr, kclique.DefaultOptions().K)
 		if err != nil {
 			return b, fmt.Errorf("engine: community detection: %w", err)
 		}
@@ -423,6 +442,7 @@ func (e *engine) broadcast(pom wire.Signed) {
 func (e *engine) run() (*Result, error) {
 	s := sim.New()
 	s.SetStats(&e.metrics.Sim)
+	defer e.closeCursor() // release the contact stream on every exit path
 
 	e.spans.Enter(obs.SpanSchedule)
 	err := e.scheduleAll(s)
@@ -462,6 +482,10 @@ func (e *engine) run() (*Result, error) {
 	stopProgress()
 	if err != nil {
 		return nil, err
+	}
+	e.closeCursor()
+	if e.cursorErr != nil {
+		return nil, fmt.Errorf("engine: contact stream: %w", e.cursorErr)
 	}
 
 	// Attribute the wall time to warmup / window / drain. A probe that never
@@ -625,30 +649,49 @@ func (e *engine) clampContact(c trace.Contact) (start, end sim.Time) {
 	return start, end
 }
 
-// scheduleContacts seeds the streaming contact scheduler: only the first
-// eligible start event enters the queue; each start, as it fires, enqueues
-// its own end and the next start behind the cursor. The trace is sorted by
-// Start, so clamped starts are non-decreasing and a chained start is never
-// in the past; the per-contact priority band reproduces the order a full
-// up-front schedule would have produced.
+// scheduleContacts seeds the streaming contact scheduler: a cursor is
+// opened on the source and only the first eligible start event enters the
+// queue; each start, as it fires, enqueues its own end and the next start
+// behind the cursor. The stream is sorted by Start, so clamped starts are
+// non-decreasing and a chained start is never in the past; the per-contact
+// priority band reproduces the order a full up-front schedule would have
+// produced, whether the source is in memory or on disk.
 func (e *engine) scheduleContacts(s *sim.Simulator) error {
-	return e.scheduleNextContactStart(s, 0)
+	cur, err := e.cfg.Trace.Cursor()
+	if err != nil {
+		return err
+	}
+	e.cursor = cur
+	return e.scheduleNextContactStart(s)
 }
 
 // scheduleNextContactStart advances the contact cursor to the next interval
 // overlapping the run and enqueues its start event. Contacts whose clamped
 // interval is empty (zero-length after clipping) are skipped entirely rather
-// than enqueued as no-op start/end pairs.
-func (e *engine) scheduleNextContactStart(s *sim.Simulator, from int) error {
-	for i := from; i < len(e.contacts); i++ {
-		c := e.contacts[i]
+// than enqueued as no-op start/end pairs. Once the stream is exhausted — or
+// sorted Starts prove nothing later can overlap — the cursor is closed.
+func (e *engine) scheduleNextContactStart(s *sim.Simulator) error {
+	if e.cursor == nil {
+		return nil
+	}
+	for {
+		c, ok := e.cursor.Next()
+		if !ok {
+			err := e.cursor.Err()
+			e.closeCursor()
+			return err
+		}
+		i := e.cursorIdx
+		e.cursorIdx++
 		if c.Start >= e.endAt {
+			e.closeCursor()
 			return nil // sorted by Start: nothing later can overlap
 		}
 		start, end := e.clampContact(c)
 		if start >= end {
 			continue
 		}
+		e.pending = c
 		return s.ScheduleEvent(sim.Event{
 			At:  start,
 			Pri: 2 * int64(i),
@@ -657,7 +700,18 @@ func (e *engine) scheduleNextContactStart(s *sim.Simulator, from int) error {
 			P:   uint64(i),
 		})
 	}
-	return nil
+}
+
+// closeCursor releases the contact cursor once, folding a close failure
+// into the run's cursor error.
+func (e *engine) closeCursor() {
+	if e.cursor == nil {
+		return
+	}
+	if err := e.cursor.Close(); err != nil && e.cursorErr == nil {
+		e.cursorErr = err
+	}
+	e.cursor = nil
 }
 
 // scheduleWorkload draws the Poisson message generation process up front —
@@ -700,13 +754,12 @@ func (e *engine) scheduleNextGen(s *sim.Simulator, idx int) error {
 func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 	switch ev.Op {
 	case opContactStart:
-		i := int(ev.P)
-		c := e.contacts[i]
+		c := e.pending // copy before the cursor advances over it
 		_, end := e.clampContact(c)
 		e.spans.Enter(obs.SpanSchedule)
 		if err := s.ScheduleEvent(sim.Event{
 			At:  end,
-			Pri: 2*int64(i) + 1,
+			Pri: 2*int64(ev.P) + 1,
 			H:   e,
 			Op:  opContactEnd,
 			A:   int32(c.A),
@@ -714,8 +767,11 @@ func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 		}); err != nil {
 			panic(fmt.Sprintf("engine: contact end: %v", err))
 		}
-		if err := e.scheduleNextContactStart(s, i+1); err != nil {
-			panic(fmt.Sprintf("engine: contact cursor: %v", err))
+		// A cursor read failure here is an I/O error, not a programmer
+		// error: record it, stop pulling, and let run() surface it once
+		// the queue drains.
+		if err := e.scheduleNextContactStart(s); err != nil && e.cursorErr == nil {
+			e.cursorErr = err
 		}
 		e.spans.Exit()
 		e.contactStart(s.Now(), c.A, c.B)
@@ -738,7 +794,11 @@ func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
 // as the engine did before streaming scheduling. Test-only: the differential
 // oracle for the streaming rewrite.
 func (e *engine) scheduleContactsLegacy(s *sim.Simulator) error {
-	for _, c := range e.contacts {
+	tr, err := trace.Materialize(e.cfg.Trace)
+	if err != nil {
+		return err
+	}
+	for _, c := range tr.Contacts() {
 		if c.End <= e.startAt || c.Start >= e.endAt {
 			continue
 		}

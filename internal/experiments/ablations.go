@@ -16,7 +16,7 @@ import (
 // varies. Fan-out 2 is the paper's sweet spot: unbounded fan-out is vanilla
 // epidemic cost, fan-out 1 starves delivery.
 func AblationFanout(opts Options) ([]*metrics.Table, error) {
-	scenario := Infocom()
+	scenario := opts.infocom()
 	tr, err := scenario.Trace()
 	if err != nil {
 		return nil, err
@@ -63,7 +63,7 @@ func AblationFanout(opts Options) ([]*metrics.Table, error) {
 // AblationDelta2 studies the Δ2/Δ1 trade-off of Section IV-B: a short test
 // window saves memory but misses re-encounters; the paper picks Δ2 = 2Δ1.
 func AblationDelta2(opts Options) ([]*metrics.Table, error) {
-	scenario := Infocom()
+	scenario := opts.infocom()
 	tr, err := scenario.Trace()
 	if err != nil {
 		return nil, err
@@ -102,7 +102,7 @@ func AblationDelta2(opts Options) ([]*metrics.Table, error) {
 // the frame must be long enough that message delay falls within the last
 // two completed frames, or the destination cannot audit liars.
 func AblationTimeframe(opts Options) ([]*metrics.Table, error) {
-	scenario := Infocom()
+	scenario := opts.infocom()
 	tr, err := scenario.Trace()
 	if err != nil {
 		return nil, err
@@ -142,7 +142,7 @@ func AblationTimeframe(opts Options) ([]*metrics.Table, error) {
 // documented in DESIGN.md. Its wall-time column is the one experiment output
 // that is inherently not byte-stable across schedules.
 func AblationCrypto(opts Options) ([]*metrics.Table, error) {
-	scenario := Infocom()
+	scenario := opts.infocom()
 	tbl := metrics.NewTable(
 		"Ablation: crypto provider (G2G Epidemic, Infocom05)",
 		"provider", "wall time (s)", "success %", "cost (replicas/msg)")

@@ -41,6 +41,33 @@ type Options struct {
 	// Audit attaches the invariant auditor to every run of the experiment
 	// and fails the batch on any violation.
 	Audit bool
+	// TracePath, when non-empty, replaces every scenario's synthetic
+	// dataset with the given trace file (text or binary .g2gt). The
+	// paper's per-scenario protocol constants still apply.
+	TracePath string
+}
+
+// scenarios returns the experiment's datasets, rebound to Options.TracePath
+// when one is set.
+func (o Options) scenarios() []Scenario {
+	ss := BothScenarios()
+	if o.TracePath == "" {
+		return ss
+	}
+	for i := range ss {
+		ss[i] = ss[i].WithTracePath(o.TracePath)
+	}
+	return ss
+}
+
+// infocom returns the Infocom scenario, rebound to Options.TracePath when
+// one is set.
+func (o Options) infocom() Scenario {
+	s := Infocom()
+	if o.TracePath != "" {
+		s = s.WithTracePath(o.TracePath)
+	}
+	return s
 }
 
 // interval is the mean Poisson message inter-generation time: the paper's
@@ -116,11 +143,11 @@ type runStats struct {
 // one derived seed. It runs nothing: all trace generation and community
 // detection happen here, sequentially, before the scheduler fans out.
 func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
-	// Trace fetches are attributed to the trace_load span: the first call per
-	// scenario pays the synthetic-mobility generation, later ones are memoized
-	// lookups (see Scenario.Trace).
+	// Source fetches are attributed to the trace_load span: the first call
+	// per scenario pays the synthetic-mobility generation (or the file
+	// open), later ones are memoized lookups (see Scenario.Source).
 	traceStart := time.Now()
-	tr, err := spec.scenario.Trace()
+	src, err := spec.scenario.Source()
 	if o.Telemetry != nil {
 		d := time.Since(traceStart)
 		o.Telemetry.Spans.Note(obs.SpanTraceLoad, d, d)
@@ -141,7 +168,7 @@ func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
 	}
 
 	cfg := engine.Config{
-		Trace:         tr,
+		Trace:         src,
 		Protocol:      spec.kind,
 		Params:        params,
 		Seed:          seed,
@@ -158,7 +185,10 @@ func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
 		}
 		cfg.Communities = comms
 	}
-	from, _ := spec.scenario.Window()
+	from, _, err := spec.scenario.Window()
+	if err != nil {
+		return engine.Config{}, err
+	}
 	engine.DefaultWorkload(&cfg, from)
 	cfg.MessageInterval = o.interval()
 	return cfg, nil
@@ -331,7 +361,7 @@ func scenarioCommunities(s Scenario) (*kclique.Communities, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := s.Mobility.Name
+	key := s.cacheKey()
 	commCacheMu.Lock()
 	defer commCacheMu.Unlock()
 	if c, ok := commCache[key]; ok {

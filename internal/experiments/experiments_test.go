@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"give2get/internal/protocol"
 	"give2get/internal/sim"
+	"give2get/internal/trace"
 )
 
 func quickOpts() Options {
@@ -28,7 +31,10 @@ func TestScenarioTracesCachedAndValid(t *testing.T) {
 			if tr != again {
 				t.Error("trace not memoized")
 			}
-			from, to := s.Window()
+			from, to, err := s.Window()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if to-from != 3*sim.Hour {
 				t.Errorf("window = %v", to-from)
 			}
@@ -293,5 +299,76 @@ func TestMeasureAveragesOverRepeats(t *testing.T) {
 	}
 	if single == stats {
 		t.Error("repeats had no effect on the measurement")
+	}
+}
+
+// TestScenarioTracePath runs a file-backed scenario end to end: the Infocom
+// dataset is exported to a binary .g2gt file, every scenario accessor must
+// pick up the streamed source, and a tiny measurement must execute against
+// it — the same path `g2gexp -trace` exercises.
+func TestScenarioTracePath(t *testing.T) {
+	base, err := Infocom().Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "infocom"+trace.BinaryExt)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := Infocom().WithTracePath(path)
+	if !strings.Contains(s.Name, filepath.Base(path)) {
+		t.Errorf("rebound name %q does not mention the file", s.Name)
+	}
+	src, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.(*trace.BinarySource); !ok {
+		t.Fatalf("source is %T, want *trace.BinarySource", src)
+	}
+	again, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != again {
+		t.Error("file-backed source not memoized")
+	}
+
+	from, to, err := s.Window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to-from != 3*sim.Hour {
+		t.Errorf("window = %v, want 3h", to-from)
+	}
+	first, _, err := trace.SpanOf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != first+sim.Hour {
+		t.Errorf("window start = %v, want first contact + 1h = %v", from, first+sim.Hour)
+	}
+
+	opts := Options{Tiny: true, Quick: true, Seed: 1, TracePath: path}
+	scenario := opts.infocom()
+	if scenario.TracePath != path {
+		t.Fatalf("infocom() ignored Options.TracePath")
+	}
+	stats, err := opts.measure(runSpec{
+		scenario: scenario, kind: protocol.Epidemic, delta1: scenario.EpidemicTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Success <= 0 || stats.Success > 100 {
+		t.Errorf("file-backed success = %v", stats.Success)
 	}
 }

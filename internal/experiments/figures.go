@@ -19,7 +19,7 @@ import (
 func Fig3(opts Options) ([]*metrics.Table, error) {
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Fig. 3 (%s): Epidemic delivery %% vs message droppers", scenario.Name),
 			"droppers", "delivery% (selfish)", "delivery% (with outsiders)")
@@ -67,7 +67,7 @@ func Fig3(opts Options) ([]*metrics.Table, error) {
 func Fig4(opts Options) ([]*metrics.Table, error) {
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Fig. 4 (%s): G2G Epidemic avg detection time (min after Δ1) vs droppers", scenario.Name),
 			"droppers", "detect-min (selfish)", "rate%", "detect-min (outsiders)", "rate%")
@@ -121,7 +121,7 @@ func SecV(opts Options) ([]*metrics.Table, error) {
 	tbl := metrics.NewTable(
 		"Sec. V: G2G Epidemic dropper detection probability",
 		"trace", "flavor", "detection rate %", "avg time after Δ1 (min)")
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tr, err := scenario.Trace()
 		if err != nil {
 			return nil, err
@@ -164,7 +164,7 @@ func SecV(opts Options) ([]*metrics.Table, error) {
 func Fig5(opts Options) ([]*metrics.Table, error) {
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		for _, deviation := range []protocol.Deviation{protocol.Dropper, protocol.Liar} {
 			tbl := metrics.NewTable(
 				fmt.Sprintf("Fig. 5 (%s): Delegation (DLC) delivery %% vs %ss", scenario.Name, deviation),
@@ -215,7 +215,7 @@ func Fig5(opts Options) ([]*metrics.Table, error) {
 func Table1(opts Options) ([]*metrics.Table, error) {
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Table I (%s): G2G Delegation (DLC) detection of deviants", scenario.Name),
 			"deviation", "detection rate %", "avg detection time (min after Δ1)")
@@ -262,7 +262,7 @@ func Table1(opts Options) ([]*metrics.Table, error) {
 func Fig7(opts Options) ([]*metrics.Table, error) {
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Fig. 7 (%s): G2G Delegation avg detection time (min after Δ1) vs deviants", scenario.Name),
 			"deviants", "droppers", "liars", "cheaters",
@@ -325,7 +325,7 @@ func Fig8(opts Options) ([]*metrics.Table, error) {
 	}
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Fig. 8 (%s): cost / success / delay per protocol (all honest)", scenario.Name),
 			"protocol", "cost (replicas at delivery)", "total replicas/msg", "success %", "mean delay (min)")

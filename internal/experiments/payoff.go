@@ -19,7 +19,7 @@ func Memory(opts Options) ([]*metrics.Table, error) {
 	}
 	b := opts.newBatch()
 	var out []*metrics.Table
-	for _, scenario := range BothScenarios() {
+	for _, scenario := range opts.scenarios() {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("Sec. VIII (%s): per-node memory overhead", scenario.Name),
 			"protocol", "mean memory (KB·s per node)", "vs vanilla")
@@ -67,7 +67,7 @@ func Memory(opts Options) ([]*metrics.Table, error) {
 // save relay energy but get evicted, so their own messages stop being
 // delivered and their payoff is strictly worse — deviating does not pay.
 func Payoff(opts Options) ([]*metrics.Table, error) {
-	scenario := Infocom()
+	scenario := opts.infocom()
 	tr, err := scenario.Trace()
 	if err != nil {
 		return nil, err

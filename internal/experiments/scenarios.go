@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"give2get/internal/mobility"
@@ -29,6 +30,25 @@ type Scenario struct {
 	DelegationTTL sim.Time
 	// WindowDay selects which day's 3-hour period hosts the experiment.
 	WindowDay int
+	// TracePath, when non-empty, replaces the synthetic dataset with an
+	// external trace file (text or binary .g2gt, sniffed by trace.Open).
+	// Binary files are streamed into the engine, not loaded; the Mobility
+	// config then only supplies the protocol constants.
+	TracePath string
+}
+
+// WithTracePath returns a copy of the scenario bound to an external trace
+// file, with the file's name folded into the scenario label.
+func (s Scenario) WithTracePath(path string) Scenario {
+	s.TracePath = path
+	s.Name = fmt.Sprintf("%s[%s]", s.Name, filepath.Base(path))
+	return s
+}
+
+// cacheKey identifies the scenario's dataset for memoization: the external
+// file path when bound to one, the (mobility, seed) pair otherwise.
+func (s Scenario) cacheKey() string {
+	return fmt.Sprintf("%s|%s/%d", s.TracePath, s.Mobility.Name, s.TraceSeed)
 }
 
 // Infocom returns the conference scenario (41 nodes, 3 days).
@@ -60,29 +80,81 @@ func BothScenarios() []Scenario {
 	return []Scenario{Infocom(), Cambridge()}
 }
 
-// Window returns the scenario's experiment window.
-func (s Scenario) Window() (from, to sim.Time) {
-	return mobility.ExperimentWindow(s.Mobility, s.WindowDay)
+// Window returns the scenario's experiment window. Synthetic scenarios use
+// the preset's diurnal schedule; file-backed scenarios anchor the window one
+// hour after the file's first contact (which may require reading the file's
+// metadata, hence the error).
+func (s Scenario) Window() (from, to sim.Time, err error) {
+	if s.TracePath == "" {
+		from, to = mobility.ExperimentWindow(s.Mobility, s.WindowDay)
+		return from, to, nil
+	}
+	src, err := s.Source()
+	if err != nil {
+		return 0, 0, err
+	}
+	first, _, err := trace.SpanOf(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	from = first + sim.Hour
+	return from, from + 3*sim.Hour, nil
 }
 
-// Trace returns the scenario's contact trace, memoized per
-// (scenario, seed): trace generation is deterministic, so sharing is safe.
+// Source returns the scenario's contact stream: for file-backed scenarios a
+// lazy source (binary files stay on disk and stream into the engine), for
+// synthetic scenarios the generated in-memory trace. Memoized, so every run
+// of an experiment shares one source.
+func (s Scenario) Source() (trace.Source, error) {
+	if s.TracePath == "" {
+		return s.Trace()
+	}
+	sourceCacheMu.Lock()
+	defer sourceCacheMu.Unlock()
+	if src, ok := sourceCache[s.TracePath]; ok {
+		return src, nil
+	}
+	src, err := trace.Open(s.TracePath)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open %s: %w", s.TracePath, err)
+	}
+	sourceCache[s.TracePath] = src
+	return src, nil
+}
+
+// Trace returns the scenario's contact trace materialized in memory,
+// memoized per dataset: trace generation is deterministic and files are
+// immutable, so sharing is safe. Analysis paths (population counts, CCDFs,
+// community detection) use this; the simulation path streams via Source.
 func (s Scenario) Trace() (*trace.Trace, error) {
-	key := fmt.Sprintf("%s/%d", s.Mobility.Name, s.TraceSeed)
+	key := s.cacheKey()
 	traceCacheMu.Lock()
 	defer traceCacheMu.Unlock()
 	if tr, ok := traceCache[key]; ok {
 		return tr, nil
 	}
-	tr, err := mobility.Generate(s.Mobility, s.TraceSeed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generate %s: %w", s.Name, err)
+	var tr *trace.Trace
+	var err error
+	if s.TracePath != "" {
+		var src trace.Source
+		if src, err = s.Source(); err == nil {
+			tr, err = trace.Materialize(src)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: load %s: %w", s.TracePath, err)
+		}
+	} else {
+		if tr, err = mobility.Generate(s.Mobility, s.TraceSeed); err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", s.Name, err)
+		}
 	}
 	traceCache[key] = tr
 	return tr, nil
 }
 
 var (
-	traceCacheMu sync.Mutex
-	traceCache   = make(map[string]*trace.Trace)
+	traceCacheMu  sync.Mutex
+	traceCache    = make(map[string]*trace.Trace)
+	sourceCacheMu sync.Mutex
+	sourceCache   = make(map[string]trace.Source)
 )

@@ -94,18 +94,34 @@ func New(name string, nodes int, contacts []Contact) (*Trace, error) {
 		cs[i] = c
 	}
 	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].Start != cs[j].Start {
-			return cs[i].Start < cs[j].Start
-		}
-		if cs[i].End != cs[j].End {
-			return cs[i].End < cs[j].End
-		}
-		if cs[i].A != cs[j].A {
-			return cs[i].A < cs[j].A
-		}
-		return cs[i].B < cs[j].B
+		return CompareContacts(cs[i], cs[j]) < 0
 	})
 	return &Trace{name: name, nodes: nodes, contacts: cs}, nil
+}
+
+// CompareContacts orders contacts by the canonical (Start, End, A, B) tuple:
+// the order New sorts into, the streaming cursors yield, and the binary
+// format stores. It returns -1, 0, or +1.
+func CompareContacts(x, y Contact) int {
+	switch {
+	case x.Start != y.Start:
+		return cmpOrder(x.Start < y.Start)
+	case x.End != y.End:
+		return cmpOrder(x.End < y.End)
+	case x.A != y.A:
+		return cmpOrder(x.A < y.A)
+	case x.B != y.B:
+		return cmpOrder(x.B < y.B)
+	default:
+		return 0
+	}
+}
+
+func cmpOrder(less bool) int {
+	if less {
+		return -1
+	}
+	return 1
 }
 
 // Name returns the trace's human-readable label (e.g. "infocom05-synth").

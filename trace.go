@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"give2get/internal/kclique"
@@ -29,10 +30,19 @@ const (
 	PresetCampusSpatial Preset = "campus-spatial"
 )
 
-// Trace is an immutable contact trace.
+// Trace is an immutable contact trace. It wraps a streaming source: a trace
+// opened from a binary file (OpenTrace on a .g2gt file) stays on disk and is
+// streamed into simulations, while analysis methods that need random access
+// (Stats, Communities, Window, InterContactCCDF) materialize it in memory
+// lazily, at most once.
 type Trace struct {
-	inner *trace.Trace
+	src trace.Source
+
+	mu  sync.Mutex
+	mem *trace.Trace // non-nil once materialized (or when born in memory)
 }
+
+func newTrace(tr *trace.Trace) *Trace { return &Trace{src: tr, mem: tr} }
 
 // TraceStats summarizes a trace.
 type TraceStats struct {
@@ -57,7 +67,7 @@ func GenerateTrace(preset Preset, seed int64) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Trace{inner: tr}, nil
+		return newTrace(tr), nil
 	default:
 		return nil, fmt.Errorf("give2get: unknown preset %q", preset)
 	}
@@ -65,7 +75,7 @@ func GenerateTrace(preset Preset, seed int64) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trace{inner: tr}, nil
+	return newTrace(tr), nil
 }
 
 // ParseTrace reads a CRAWDAD-imote-style contact listing: one contact per
@@ -76,43 +86,102 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trace{inner: tr}, nil
+	return newTrace(tr), nil
 }
 
-// Write serializes the trace in the format ParseTrace accepts.
+// OpenTrace loads a trace from a file, sniffing the format from the leading
+// bytes: binary .g2gt traces (see WriteBinary and cmd/traceconv) open as
+// lazy streaming sources that are fed to simulations without ever being
+// loaded whole, text listings are parsed into memory as with ParseTrace.
+func OpenTrace(path string) (*Trace, error) {
+	src, err := trace.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{src: src}
+	if tr, ok := src.(*trace.Trace); ok {
+		t.mem = tr
+	}
+	return t, nil
+}
+
+// materialize loads the full contact slice into memory, at most once.
+func (t *Trace) materialize() (*trace.Trace, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mem == nil {
+		tr, err := trace.Materialize(t.src)
+		if err != nil {
+			return nil, err
+		}
+		t.mem = tr
+	}
+	return t.mem, nil
+}
+
+// Write serializes the trace in the text format ParseTrace accepts,
+// streaming from the underlying source.
 func (t *Trace) Write(w io.Writer) error {
-	if t == nil || t.inner == nil {
+	if t == nil || t.src == nil {
 		return errors.New("give2get: nil trace")
 	}
-	return trace.Write(w, t.inner)
+	return trace.WriteText(w, t.src)
+}
+
+// WriteBinary serializes the trace in the compact sorted binary format
+// OpenTrace streams (conventionally a .g2gt file): delta-encoded columnar
+// blocks that load without parsing and without materializing.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	if t == nil || t.src == nil {
+		return errors.New("give2get: nil trace")
+	}
+	return trace.WriteBinary(w, t.src)
 }
 
 // Name returns the trace label.
-func (t *Trace) Name() string { return t.inner.Name() }
+func (t *Trace) Name() string { return t.src.Name() }
 
 // Nodes returns the population size.
-func (t *Trace) Nodes() int { return t.inner.Nodes() }
+func (t *Trace) Nodes() int { return t.src.Nodes() }
 
-// Contacts returns the number of contact intervals.
-func (t *Trace) Contacts() int { return t.inner.Len() }
+// Contacts returns the number of contact intervals. For file-backed traces
+// this reads the file's footer, not the contacts; it returns -1 if the
+// count cannot be determined.
+func (t *Trace) Contacts() int {
+	n, err := trace.LenOf(t.src)
+	if err != nil {
+		return -1
+	}
+	return n
+}
 
-// Stats computes summary statistics.
-func (t *Trace) Stats() TraceStats {
-	s := trace.ComputeStats(t.inner)
+// Stats computes summary statistics. The trace is materialized if it is
+// still on disk.
+func (t *Trace) Stats() (TraceStats, error) {
+	tr, err := t.materialize()
+	if err != nil {
+		return TraceStats{}, err
+	}
+	s := trace.ComputeStats(tr)
 	return TraceStats{
 		Nodes:            s.Nodes,
 		Contacts:         s.Contacts,
 		Span:             s.Span.Duration(),
 		MeanContact:      s.MeanContact.Duration(),
 		MeanInterContact: s.MeanInterContact.Duration(),
-	}
+	}, nil
 }
 
 // Communities runs k-clique percolation community detection (k = 3, with an
 // adaptive contact-count threshold) and returns the member lists. A node may
-// appear in several communities; nodes in none are omitted.
+// appear in several communities; nodes in none are omitted. The trace is
+// materialized if it is still on disk.
 func (t *Trace) Communities() ([][]int, error) {
-	comms, err := kclique.DetectAuto(t.inner, 3)
+	tr, err := t.materialize()
+	if err != nil {
+		return nil, err
+	}
+	comms, err := kclique.DetectAuto(tr, 3)
 	if err != nil {
 		return nil, err
 	}
@@ -136,22 +205,32 @@ type CCDFPoint struct {
 
 // InterContactCCDF returns the empirical inter-contact time distribution at
 // `points` log-spaced abscissae — the statistic the PSN literature uses to
-// characterize these traces.
-func (t *Trace) InterContactCCDF(points int) []CCDFPoint {
-	raw := trace.InterContactCCDF(t.inner, points)
+// characterize these traces. The trace is materialized if it is still on
+// disk.
+func (t *Trace) InterContactCCDF(points int) ([]CCDFPoint, error) {
+	tr, err := t.materialize()
+	if err != nil {
+		return nil, err
+	}
+	raw := trace.InterContactCCDF(tr, points)
 	out := make([]CCDFPoint, len(raw))
 	for i, p := range raw {
 		out[i] = CCDFPoint{T: p.T.Duration(), Fraction: p.Fraction}
 	}
-	return out
+	return out, nil
 }
 
 // Window extracts a sub-trace over [from, to) measured from the trace start,
-// re-based so the window begins at time zero.
+// re-based so the window begins at time zero. The trace is materialized if
+// it is still on disk.
 func (t *Trace) Window(from, to time.Duration) (*Trace, error) {
-	w, err := t.inner.Window(sim.Time(from), sim.Time(to))
+	tr, err := t.materialize()
 	if err != nil {
 		return nil, err
 	}
-	return &Trace{inner: w}, nil
+	w, err := tr.Window(sim.Time(from), sim.Time(to))
+	if err != nil {
+		return nil, err
+	}
+	return newTrace(w), nil
 }
