@@ -10,7 +10,7 @@ BENCH_MAX_REGRESS ?= 10
 # (wide because single-iteration wall times are noisy; 0 disables).
 BENCH_NS_TOLERANCE ?= 25
 
-.PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover trace-roundtrip check ci
+.PHONY: all build test vet race bench bench-smoke bench-diff fuzz cover trace-roundtrip kill-resume check ci
 
 all: check
 
@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalSigned -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzParseKind -fuzztime=$(FUZZTIME) ./internal/protocol
 	$(GO) test -run='^$$' -fuzz=FuzzParamsValidate -fuzztime=$(FUZZTIME) ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzParseCheckpoint -fuzztime=$(FUZZTIME) ./internal/engine
 
 # Coverage with a per-package floor (COVER_FLOOR percent) over the library
 # packages. The profile lands in cover.out for `go tool cover -html`.
@@ -96,14 +97,36 @@ trace-roundtrip:
 	if [ $$status -ne 0 ]; then echo "trace-roundtrip: FAILED"; exit $$status; fi; \
 	echo "trace-roundtrip: text -> binary -> text byte-identical"
 
+# Crash-safety gate run against the real CLI: an audited preset run is
+# killed (SIGTERM) mid-flight with checkpointing on, resumed from the
+# flushed checkpoint, and its audit digest must be byte-identical to an
+# uninterrupted reference run of the same configuration (the determinism
+# contract; see DESIGN.md "Checkpoint & recovery").
+kill-resume:
+	@dir=$$(mktemp -d); status=1; \
+	$(GO) build -o $$dir/g2gsim ./cmd/g2gsim && \
+	$$dir/g2gsim -preset infocom05 -audit -seed 7 >$$dir/ref.out 2>&1 && \
+	{ $$dir/g2gsim -preset infocom05 -audit -seed 7 -checkpoint-dir $$dir/ckpt >$$dir/int.out 2>&1 & \
+	  pid=$$!; sleep 3; kill -TERM $$pid 2>/dev/null; wait $$pid; \
+	  test -f $$dir/ckpt/run.ckpt || { echo "kill-resume: no checkpoint flushed (run finished before the kill?)"; cat $$dir/int.out; rm -rf $$dir; exit 1; }; \
+	  $$dir/g2gsim -preset infocom05 -audit -seed 7 -checkpoint-dir $$dir/ckpt -resume >$$dir/res.out 2>&1 && \
+	  grep digest= $$dir/ref.out >$$dir/ref.digest && \
+	  grep digest= $$dir/res.out >$$dir/res.digest && \
+	  cmp $$dir/ref.digest $$dir/res.digest; }; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then echo "kill-resume: FAILED"; cat $$dir/ref.out $$dir/int.out $$dir/res.out 2>/dev/null; fi; \
+	rm -rf $$dir; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "kill-resume: audit digest identical across kill/resume"
+
 check: build vet test race
 
 # ci is the documented verification entry point: build, vet, the coverage
 # floor, the race pass, the benchmark smoke pass, the trace-format round-trip
-# gate, a quick-mode experiment smoke run through the parallel scheduler, and
-# a fully audited honest run on each preset (the auditor fails the command on
-# any invariant violation).
-ci: build vet cover race bench-smoke trace-roundtrip
+# gate, the kill/resume crash-safety gate, a quick-mode experiment smoke run
+# through the parallel scheduler, and a fully audited honest run on each
+# preset (the auditor fails the command on any invariant violation).
+ci: build vet cover race bench-smoke trace-roundtrip kill-resume
 	$(GO) run ./cmd/g2gexp -experiment secV -quick -jobs 0 >/dev/null
 	$(GO) run ./cmd/g2gsim -preset infocom05 -protocol g2g-epidemic -ttl 10m -interval 60s -audit >/dev/null
 	$(GO) run ./cmd/g2gsim -preset cambridge06 -protocol g2g-delegation-frequency -ttl 10m -interval 60s -audit >/dev/null

@@ -8,15 +8,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
+	"give2get/internal/engine"
 	"give2get/internal/experiments"
 	"give2get/internal/obs"
+	"give2get/internal/sim"
 )
 
 func main() {
@@ -43,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		tracePath  = fs.String("trace", "", "contact trace file, text or binary .g2gt, replacing every scenario's synthetic dataset")
 		telemetry  = fs.String("telemetry", "", "write an aggregated JSON run report over all runs to this file")
 		inspect    = fs.String("inspect", "", "serve a live experiment inspector on this address (e.g. :6060): JSON telemetry at /snapshot, SSE progress at /events, pprof under /debug/pprof/")
+		ckptDir    = fs.String("checkpoint-dir", "", "directory for crash-safe state: completed runs are journaled there (one subdirectory per experiment), SIGINT/SIGTERM flushes in-flight checkpoints, and -resume continues")
+		ckptEvery  = fs.Duration("checkpoint-every", 0, "virtual-time period between periodic per-run checkpoints (0 = flush only on interruption)")
+		resume     = fs.Bool("resume", false, "continue an interrupted experiment from the state in -checkpoint-dir")
+		retries    = fs.Int("retries", 0, "re-attempt failed simulations this many times with exponential backoff")
 	)
 	var prof obs.Profiler
 	prof.RegisterFlags(fs)
@@ -63,7 +74,16 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	opts := experiments.Options{Quick: *quick, Tiny: *tiny, Audit: *audit, Seed: *seed, Repeats: *repeats, Jobs: *jobs, TracePath: *tracePath}
+	if *resume && *ckptDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
+	}
+	// SIGINT/SIGTERM cancel the sweep gracefully: in-flight runs flush
+	// their checkpoints and the journal keeps everything already finished.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := experiments.Options{Quick: *quick, Tiny: *tiny, Audit: *audit, Seed: *seed, Repeats: *repeats, Jobs: *jobs, TracePath: *tracePath,
+		Context: ctx, CheckpointEvery: sim.Time(*ckptEvery), Resume: *resume, Retries: *retries}
 	if *verbose {
 		opts.Progress = stderr
 	}
@@ -92,8 +112,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		ids = strings.Split(*experiment, ",")
 	}
 	for _, id := range ids {
-		tables, err := experiments.Run(strings.TrimSpace(id), opts)
+		id = strings.TrimSpace(id)
+		if *ckptDir != "" {
+			// One journal + checkpoint namespace per experiment, so a
+			// multi-experiment invocation stays resumable as a whole.
+			opts.CheckpointDir = filepath.Join(*ckptDir, id)
+			if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+				return err
+			}
+		}
+		tables, err := experiments.Run(id, opts)
 		if err != nil {
+			if errors.Is(err, engine.ErrInterrupted) && *ckptDir != "" {
+				fmt.Fprintf(stderr, "g2gexp: interrupted; state saved under %s (continue with -resume)\n", *ckptDir)
+			}
 			return err
 		}
 		for _, tbl := range tables {

@@ -10,11 +10,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"give2get"
@@ -51,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		tracelog  = fs.String("tracelog", "", "write a leveled JSON-lines trace of the run to this file")
 		progress  = fs.Duration("progress", 0, "print a progress line to stderr at this wall-clock period (0 = off)")
 		inspect   = fs.String("inspect", "", "serve a live run inspector on this address (e.g. :6060): JSON telemetry at /snapshot, SSE progress at /events, pprof under /debug/pprof/")
+		ckptDir   = fs.String("checkpoint-dir", "", "directory for crash-safe state: SIGINT/SIGTERM flushes a checkpoint there, and -resume continues from it")
+		ckptEvery = fs.Duration("checkpoint-every", 0, "virtual-time period between periodic checkpoints (0 = flush only on interruption)")
+		resume    = fs.Bool("resume", false, "continue an interrupted run from the state in -checkpoint-dir")
 	)
 	var prof obs.Profiler
 	prof.RegisterFlags(fs)
@@ -66,6 +74,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	if *resume && *ckptDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	// SIGINT/SIGTERM cancel the run gracefully: the engine finishes the
+	// instant in flight, flushes its checkpoint, and returns ErrInterrupted.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// The registry exists for the whole invocation when inspecting, so the
 	// trace_load span below and every run (repeats included) aggregate into
@@ -118,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		OnlyOutsiders:   *outsiders,
 		RealCrypto:      *realCrypt,
 		Registry:        reg,
+		Context:         ctx,
 	}
 	if *deviants > 0 {
 		cfg.Deviation = give2get.Deviation(*deviation)
@@ -153,10 +174,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 
 	if *repeats > 1 {
-		sweep, err := give2get.RunSweep(give2get.SweepConfig{
+		scfg := give2get.SweepConfig{
 			SimulationConfig: cfg, Repeats: *repeats, Jobs: *jobs,
-		})
+		}
+		if *ckptDir != "" {
+			scfg.Journal = filepath.Join(*ckptDir, "sweep.journal")
+			scfg.CheckpointDir = *ckptDir
+			scfg.CheckpointEvery = *ckptEvery
+			scfg.Resume = *resume
+		}
+		sweep, err := give2get.RunSweep(scfg)
 		if err != nil {
+			if errors.Is(err, give2get.ErrInterrupted) && *ckptDir != "" {
+				fmt.Fprintf(stderr, "g2gsim: interrupted; state saved under %s (continue with -resume)\n", *ckptDir)
+			}
 			return err
 		}
 		fmt.Fprintf(stdout, "trace:       %s (%d nodes, %d contacts)\n", tr.Name(), tr.Nodes(), tr.Contacts())
@@ -177,9 +208,33 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	res, err := give2get.Run(cfg)
+	ckptPath := ""
+	if *ckptDir != "" {
+		ckptPath = filepath.Join(*ckptDir, "run.ckpt")
+		cfg.CheckpointPath = ckptPath
+		cfg.CheckpointInterval = *ckptEvery
+	}
+	var res *give2get.Result
+	if *resume {
+		if _, statErr := os.Stat(ckptPath); errors.Is(statErr, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "g2gsim: no checkpoint at %s, starting fresh\n", ckptPath)
+			res, err = give2get.Run(cfg)
+		} else {
+			res, err = give2get.Resume(ckptPath, cfg)
+		}
+	} else {
+		res, err = give2get.Run(cfg)
+	}
 	if err != nil {
+		if errors.Is(err, give2get.ErrInterrupted) && ckptPath != "" {
+			fmt.Fprintf(stderr, "g2gsim: interrupted; checkpoint at %s (continue with -resume)\n", ckptPath)
+		}
 		return err
+	}
+	if ckptPath != "" {
+		// A completed run needs no restart point; a stale one would make a
+		// later -resume replay the wrong run.
+		os.Remove(ckptPath)
 	}
 	fmt.Fprintf(stdout, "trace:       %s (%d nodes, %d contacts)\n", tr.Name(), tr.Nodes(), tr.Contacts())
 	fmt.Fprintf(stdout, "protocol:    %s  ttl=%v  seed=%d\n", *proto, *ttl, *seed)

@@ -97,21 +97,15 @@ func toBinary(in, out string, runContacts int) error {
 	var magic [4]byte
 	if n, _ := io.ReadFull(f, magic[:]); n == len(magic) && trace.IsBinaryMagic(magic[:]) {
 		// Already binary and therefore already sorted: stream straight
-		// through a writer (re-blocking and re-validating on the way).
+		// through a writer (re-blocking and re-validating on the way),
+		// published atomically.
 		src, err := trace.OpenBinary(in)
 		if err != nil {
 			return err
 		}
-		g, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		if err := trace.WriteBinary(g, src); err != nil {
-			g.Close()
-			os.Remove(out)
-			return err
-		}
-		return g.Close()
+		return trace.WriteFileAtomic(out, func(g io.Writer) error {
+			return trace.WriteBinary(g, src)
+		})
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -136,20 +130,14 @@ func toBinary(in, out string, runContacts int) error {
 	return w.Close()
 }
 
-// toText exports any trace as a CRAWDAD-style listing, streaming.
+// toText exports any trace as a CRAWDAD-style listing, streaming into an
+// atomically published file.
 func toText(in, out string) error {
 	src, err := trace.Open(in)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	if err := trace.WriteText(f, src); err != nil {
-		f.Close()
-		os.Remove(out)
-		return err
-	}
-	return f.Close()
+	return trace.WriteFileAtomic(out, func(f io.Writer) error {
+		return trace.WriteText(f, src)
+	})
 }

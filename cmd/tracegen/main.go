@@ -106,19 +106,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return nil
 	}
 
-	w := stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+		// Atomic publish: a crash or full disk never leaves a torn trace
+		// file where a later run would try to read one.
+		return trace.WriteFileAtomic(*out, func(w io.Writer) error {
+			if strings.HasSuffix(*out, trace.BinaryExt) {
+				return tr.WriteBinary(w)
+			}
+			return tr.Write(w)
+		})
 	}
-	if strings.HasSuffix(*out, trace.BinaryExt) {
-		return tr.WriteBinary(w)
-	}
-	return tr.Write(w)
+	return tr.Write(stdout)
 }
 
 // runLarge streams a GenerateLarge trace through an external merge sort into

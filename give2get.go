@@ -1,6 +1,7 @@
 package give2get
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -137,7 +138,35 @@ type SimulationConfig struct {
 	// aggregate them, or snapshot it mid-run for live progress — all
 	// recording is atomic.
 	Registry *Metrics
+
+	// CheckpointPath, when non-empty, makes the run crash-safe: a
+	// versioned, checksummed snapshot of the full run state is written
+	// there atomically (every CheckpointInterval of virtual time, and on
+	// graceful cancellation), and Resume can continue it with results —
+	// down to the audit digest — identical to an uninterrupted run.
+	// Requires the fast crypto provider.
+	CheckpointPath string
+	// CheckpointInterval is the virtual-time period between periodic
+	// checkpoints; zero flushes only on cancellation.
+	CheckpointInterval time.Duration
+	// Context, when non-nil, cancels the run gracefully: the engine
+	// finishes the instant in flight, flushes the checkpoint, and returns
+	// ErrInterrupted.
+	Context context.Context
 }
+
+// Checkpoint/resume errors, re-exported for callers that branch on them.
+var (
+	// ErrInterrupted is returned by a cancelled run after its checkpoint
+	// (if configured) was flushed.
+	ErrInterrupted = engine.ErrInterrupted
+	// ErrCheckpointCorrupt marks a checkpoint that failed validation
+	// (truncation, bit flips, bad checksum); Resume refuses it cleanly.
+	ErrCheckpointCorrupt = engine.ErrCheckpointCorrupt
+	// ErrCheckpointMismatch marks a checkpoint captured under a different
+	// configuration or trace.
+	ErrCheckpointMismatch = engine.ErrCheckpointMismatch
+)
 
 // AuditConfig switches on the invariant auditor: a shadow model of the run
 // that cross-checks every protocol event and the end-of-run accounting.
@@ -254,6 +283,11 @@ func engineConfig(cfg SimulationConfig, seed int64) (engine.Config, error) {
 	if cfg.Audit.Enabled {
 		ecfg.Audit = &invariant.Options{Label: cfg.Audit.Label}
 	}
+	ecfg.Checkpoint = engine.CheckpointConfig{
+		Path:  cfg.CheckpointPath,
+		Every: sim.Time(cfg.CheckpointInterval),
+	}
+	ecfg.Context = cfg.Context
 
 	windowStart := sim.Time(cfg.WindowStart)
 	if windowStart == 0 {
@@ -277,6 +311,22 @@ func Run(cfg SimulationConfig) (*Result, error) {
 		return nil, err
 	}
 	res, err := engine.Run(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return publicResult(res), nil
+}
+
+// Resume restores the run checkpointed at path and continues it to
+// completion. cfg must be the configuration the checkpoint was written
+// under (verified structurally and by fingerprint); the result is identical
+// to the run never having been interrupted.
+func Resume(path string, cfg SimulationConfig) (*Result, error) {
+	ecfg, err := engineConfig(cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Resume(path, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +370,24 @@ type SweepConfig struct {
 	// Jobs is how many runs the scheduler keeps in flight; values below 1
 	// mean GOMAXPROCS. The results are identical for every value.
 	Jobs int
+	// Journal, when non-empty, records every completed repeat to this file
+	// as it finishes, making the sweep crash-safe.
+	Journal string
+	// Resume replays an existing Journal: completed repeats are restored
+	// from it instead of re-running, and interrupted repeats restart from
+	// their checkpoint in CheckpointDir when one survived.
+	Resume bool
+	// CheckpointDir, when non-empty, gives every repeat a periodic engine
+	// checkpoint so interrupted repeats can resume mid-run. The embedded
+	// CheckpointPath is ignored in a sweep — the scheduler owns checkpoint
+	// placement.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time period between per-repeat
+	// checkpoints; zero flushes only on cancellation.
+	CheckpointEvery time.Duration
+	// Retries re-attempts failed repeats this many times with exponential
+	// backoff. Interruptions and audit failures are never retried.
+	Retries int
 }
 
 // SweepResult aggregates a sweep: the per-repeat results in seed order plus
@@ -355,11 +423,20 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		if ecfg.Audit != nil && ecfg.Audit.Label == "" {
 			ecfg.Audit = &invariant.Options{Label: label}
 		}
+		// The scheduler owns checkpoint placement in a sweep: a single
+		// CheckpointPath shared by every repeat would corrupt itself.
+		ecfg.Checkpoint = engine.CheckpointConfig{}
 		specs[r] = runner.Spec{Label: label, Config: ecfg}
 	}
 	outcomes, err := runner.Run(specs, runner.Options{
-		Jobs:        cfg.Jobs,
-		StrictAudit: cfg.Audit.Enabled,
+		Jobs:            cfg.Jobs,
+		StrictAudit:     cfg.Audit.Enabled,
+		Context:         cfg.Context,
+		Journal:         cfg.Journal,
+		Resume:          cfg.Resume,
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: sim.Time(cfg.CheckpointEvery),
+		Retries:         cfg.Retries,
 	})
 	if err != nil {
 		return nil, err
@@ -408,6 +485,24 @@ type ExperimentOptions struct {
 	// TracePath, when non-empty, replaces every scenario's synthetic
 	// dataset with a trace file (text or binary .g2gt, as OpenTrace).
 	TracePath string
+	// Context, when non-nil, cancels the experiment gracefully: in-flight
+	// simulations flush their checkpoints (when CheckpointDir is set) and
+	// the experiment returns an interruption error.
+	Context context.Context
+	// CheckpointDir, when non-empty, makes the experiment crash-safe: each
+	// simulation gets a periodic checkpoint there and the sweep journal
+	// records completed runs, so an interrupted experiment can be resumed.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time period between per-run
+	// checkpoints; zero flushes only on cancellation.
+	CheckpointEvery time.Duration
+	// Resume continues an experiment interrupted under the same
+	// CheckpointDir: journaled runs are restored without re-executing,
+	// in-flight runs restart from their checkpoint.
+	Resume bool
+	// Retries re-attempts failed simulations this many times with
+	// exponential backoff before the experiment fails.
+	Retries int
 }
 
 // RunExperiment regenerates one of the paper's tables or figures and returns

@@ -16,10 +16,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"give2get/internal/g2gcrypto"
@@ -112,6 +114,21 @@ type Config struct {
 	Progress io.Writer
 	// ProgressEvery is the wall-clock period of progress reports.
 	ProgressEvery time.Duration
+	// Checkpoint configures crash-safe run snapshots: a versioned,
+	// checksummed file written atomically at Every intervals of virtual
+	// time (and on graceful shutdown) that Resume can continue from with a
+	// byte-identical audit digest. Requires the deterministic CryptoFast
+	// provider.
+	Checkpoint CheckpointConfig
+	// Context, when non-nil, allows graceful cancellation: once it is done,
+	// the engine finishes the instant in flight, flushes a final checkpoint
+	// (when Checkpoint.Path is set), and returns ErrInterrupted.
+	Context context.Context
+
+	// stopAt, when positive, schedules a graceful stop at an exact virtual
+	// instant — the deterministic stand-in for a mid-run kill that the
+	// in-package resume tests use. Not reachable from outside the package.
+	stopAt sim.Time
 
 	// Deviants lists the nodes that deviate, all with the same deviation.
 	Deviants []trace.NodeID
@@ -149,6 +166,14 @@ func (c Config) Validate() error {
 		return errors.New("engine: negative warmup or run-extra")
 	case c.PayloadBytes < 0:
 		return errors.New("engine: negative payload size")
+	case c.Checkpoint.Every < 0:
+		return errors.New("engine: negative checkpoint interval")
+	case c.Checkpoint.Every > 0 && c.Checkpoint.Path == "":
+		return errors.New("engine: checkpoint interval set without a checkpoint path")
+	case c.Checkpoint.Path != "" && c.Crypto == CryptoReal:
+		return errors.New("engine: checkpointing requires the deterministic fast crypto provider")
+	case c.Checkpoint.Path != "" && c.legacyScheduling:
+		return errors.New("engine: checkpointing requires streaming scheduling")
 	}
 	if err := c.Params.Validate(); err != nil {
 		return err
@@ -256,6 +281,20 @@ type engine struct {
 	workloadRNG *sim.RNG
 	startAt     sim.Time
 	endAt       sim.Time
+
+	// wallAtWindowFrom/To capture the wall clock as the run crosses the
+	// window boundaries, for per-phase wall attribution.
+	wallAtWindowFrom time.Time
+	wallAtWindowTo   time.Time
+
+	// cancelled is set by the context watcher goroutine; the event loop
+	// turns it into a control-priority stop event at the current instant,
+	// so the shutdown lands on a checkpointable barrier.
+	cancelled     atomic.Bool
+	stopScheduled bool
+	// stopErr records why the kernel was stopped early (interruption or a
+	// failed checkpoint flush); finishRun surfaces it.
+	stopErr error
 }
 
 // workloadGen is one pre-drawn message generation.
@@ -270,6 +309,7 @@ const (
 	opContactStart = iota + 1
 	opContactEnd
 	opWorkloadGen
+	opControl
 )
 
 // Same-instant priority bands. Contact events use 2*index (start) and
@@ -456,25 +496,73 @@ func (e *engine) run() (*Result, error) {
 	// else, so same-instant protocol events keep their order and the run
 	// stays deterministic in virtual time. They double as the phase markers
 	// for the live inspector and the trace/flight sinks.
-	var wallAtWindowFrom, wallAtWindowTo time.Time
 	if e.cfg.WindowFrom >= e.startAt {
-		if _, err := s.Schedule(e.cfg.WindowFrom, func(*sim.Simulator) {
-			wallAtWindowFrom = time.Now()
-			e.emitPhase(e.cfg.WindowFrom, obs.PhaseWindow)
-		}); err != nil {
+		if _, err := s.Schedule(e.cfg.WindowFrom, e.probeWindowFrom); err != nil {
 			return nil, err
 		}
 	}
-	if _, err := s.Schedule(e.cfg.WindowTo, func(*sim.Simulator) {
-		wallAtWindowTo = time.Now()
-		e.emitPhase(e.cfg.WindowTo, obs.PhaseDrain)
-	}); err != nil {
+	if _, err := s.Schedule(e.cfg.WindowTo, e.probeWindowTo); err != nil {
 		return nil, err
 	}
 
 	if e.startAt < e.cfg.WindowFrom {
 		e.emitPhase(e.startAt, obs.PhaseWarmup)
 	}
+	return e.finishRun(s)
+}
+
+// probeWindowFrom / probeWindowTo are the phase-boundary probe events. They
+// are methods (not run()-local closures) so a resumed run can re-schedule
+// whichever ones are still in its future.
+func (e *engine) probeWindowFrom(*sim.Simulator) {
+	e.wallAtWindowFrom = time.Now()
+	e.emitPhase(e.cfg.WindowFrom, obs.PhaseWindow)
+}
+
+func (e *engine) probeWindowTo(*sim.Simulator) {
+	e.wallAtWindowTo = time.Now()
+	e.emitPhase(e.cfg.WindowTo, obs.PhaseDrain)
+}
+
+// finishRun drives a fully scheduled kernel to completion and assembles the
+// result: the shared tail of a fresh run() and a checkpointed Resume.
+func (e *engine) finishRun(s *sim.Simulator) (*Result, error) {
+	if e.cfg.Checkpoint.Every > 0 {
+		if next := e.nextControlAt(s.Now()); next < e.endAt {
+			if err := s.ScheduleEvent(sim.Event{
+				At: next, Pri: PriControl, H: e, Op: opControl, P: ctrlPeriodic,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if e.cfg.stopAt > 0 {
+		if err := s.ScheduleEvent(sim.Event{
+			At: e.cfg.stopAt, Pri: PriControl, H: e, Op: opControl, P: ctrlStop,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if ctx := e.cfg.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w before start: %v", ErrInterrupted, err)
+		}
+		watchStop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				e.cancelled.Store(true)
+			case <-watchStop:
+			}
+		}()
+		defer func() {
+			close(watchStop)
+			<-watchDone
+		}()
+	}
+
 	stopProgress := e.startProgress()
 	wallStart := time.Now()
 	endedAt, err := s.RunUntil(e.endAt)
@@ -487,9 +575,14 @@ func (e *engine) run() (*Result, error) {
 	if e.cursorErr != nil {
 		return nil, fmt.Errorf("engine: contact stream: %w", e.cursorErr)
 	}
+	if e.stopErr != nil {
+		return nil, e.stopErr
+	}
 
 	// Attribute the wall time to warmup / window / drain. A probe that never
-	// fired (empty trace tail) collapses its phase to zero.
+	// fired (empty trace tail, or a resume past its boundary) collapses its
+	// phase to zero.
+	wallAtWindowFrom, wallAtWindowTo := e.wallAtWindowFrom, e.wallAtWindowTo
 	if wallAtWindowFrom.IsZero() {
 		wallAtWindowFrom = wallStart
 	}
@@ -620,9 +713,19 @@ func (e *engine) startProgress() (stop func()) {
 // experiment window ("using one KByte for one second or for one year does
 // not have the same cost").
 func (e *engine) scheduleMemorySampling(s *sim.Simulator) error {
+	_, err := s.Schedule(e.cfg.WindowFrom, e.memoryTick())
+	return err
+}
+
+// memoryTick builds the self-chaining memory sampler closure. It doubles as
+// a cancellation poll point: during the drain the queue may hold nothing but
+// ticks, and without the check here a cancelled context would only be
+// honored at the natural end of the run.
+func (e *engine) memoryTick() func(s *sim.Simulator) {
 	interval := protocol.MemorySampleInterval()
 	var tick func(s *sim.Simulator)
 	tick = func(s *sim.Simulator) {
+		e.maybeScheduleStop(s)
 		dt := sim.SecondsOf(interval)
 		for _, n := range e.nodes {
 			n.AddMemorySample(float64(n.MemoryBytes()) * dt)
@@ -633,8 +736,7 @@ func (e *engine) scheduleMemorySampling(s *sim.Simulator) error {
 			}
 		}
 	}
-	_, err := s.Schedule(e.cfg.WindowFrom, tick)
-	return err
+	return tick
 }
 
 // clampContact clips a contact to the run interval [startAt, endAt].
@@ -718,6 +820,14 @@ func (e *engine) closeCursor() {
 // the draw order is the seeded RNG contract — and streams the resulting
 // generations one typed event at a time.
 func (e *engine) scheduleWorkload(s *sim.Simulator) error {
+	e.drawWorkload()
+	return e.scheduleNextGen(s, 0)
+}
+
+// drawWorkload consumes the dedicated workload RNG stream into e.gens. The
+// draws are a pure function of the seed, so a resumed run redraws the exact
+// same generations and simply discards the already-fired prefix.
+func (e *engine) drawWorkload() {
 	genEnd := e.cfg.WindowTo - e.cfg.GenerationQuiet
 	population := e.cfg.Trace.Nodes()
 	at := e.cfg.WindowFrom + e.workloadRNG.Exp(e.cfg.MessageInterval)
@@ -732,7 +842,6 @@ func (e *engine) scheduleWorkload(s *sim.Simulator) error {
 		e.gens = append(e.gens, workloadGen{at: at, src: src, dst: dst, body: body})
 		at += e.workloadRNG.Exp(e.cfg.MessageInterval)
 	}
-	return e.scheduleNextGen(s, 0)
 }
 
 func (e *engine) scheduleNextGen(s *sim.Simulator, idx int) error {
@@ -752,7 +861,12 @@ func (e *engine) scheduleNextGen(s *sim.Simulator, idx int) error {
 // only fail on a past timestamp, which the cursor invariants rule out, so a
 // failure is a programmer error.
 func (e *engine) HandleEvent(s *sim.Simulator, ev sim.Event) {
+	if ev.Op != opControl {
+		e.maybeScheduleStop(s)
+	}
 	switch ev.Op {
+	case opControl:
+		e.handleControl(s, ev)
 	case opContactStart:
 		c := e.pending // copy before the cursor advances over it
 		_, end := e.clampContact(c)

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -45,6 +47,25 @@ type Options struct {
 	// dataset with the given trace file (text or binary .g2gt). The
 	// paper's per-scenario protocol constants still apply.
 	TracePath string
+	// Context, when non-nil, cancels the experiment gracefully: in-flight
+	// runs flush their checkpoints and stop, and the batch returns an
+	// interruption error.
+	Context context.Context
+	// CheckpointDir enables crash-safe execution: the experiment keeps a
+	// sweep journal (sweep.journal) and per-run engine checkpoints there,
+	// so a killed experiment can be re-invoked with Resume and continue
+	// where it stopped. Empty disables both.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time period of per-run checkpoint
+	// emission; zero flushes only on graceful interruption.
+	CheckpointEvery sim.Time
+	// Resume replays CheckpointDir's journal before dispatching, skipping
+	// completed runs and restarting interrupted ones from their
+	// checkpoints.
+	Resume bool
+	// Retries re-attempts transiently failed runs (with backoff) before
+	// the failure sticks.
+	Retries int
 }
 
 // scenarios returns the experiment's datasets, rebound to Options.TracePath
@@ -257,12 +278,21 @@ func (b *batch) then(f func()) { b.finish = append(b.finish, f) }
 // run executes every registered spec through the scheduler, then fires the
 // deferred callbacks in order.
 func (b *batch) run() error {
-	outs, err := runner.Run(b.specs, runner.Options{
+	ropts := runner.Options{
 		Jobs:        b.opts.Jobs,
 		Telemetry:   b.opts.Telemetry,
 		Progress:    b.opts.Progress,
 		StrictAudit: b.opts.Audit,
-	})
+		Context:     b.opts.Context,
+		Retries:     b.opts.Retries,
+	}
+	if b.opts.CheckpointDir != "" {
+		ropts.Journal = filepath.Join(b.opts.CheckpointDir, "sweep.journal")
+		ropts.CheckpointDir = b.opts.CheckpointDir
+		ropts.CheckpointEvery = b.opts.CheckpointEvery
+		ropts.Resume = b.opts.Resume
+	}
+	outs, err := runner.Run(b.specs, ropts)
 	if err != nil {
 		return err
 	}

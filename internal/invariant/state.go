@@ -1,0 +1,208 @@
+package invariant
+
+import (
+	"bytes"
+	"encoding"
+	"errors"
+	"fmt"
+	"sort"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/obs"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// Checkpoint support: the shadow model flattened into a serializable value.
+// The digest hasher travels as its marshaled internal state (SHA-256
+// implements encoding.BinaryMarshaler), and the per-instant pending record
+// buffer is carried verbatim — a snapshot taken mid-run must neither fold it
+// early nor lose it, or the resumed digest would diverge from the
+// uninterrupted run's. Maps are flattened in sorted order so identical run
+// states serialize to identical bytes.
+
+// MsgEntry is one message's shadow lifecycle in a State.
+type MsgEntry struct {
+	Hash      g2gcrypto.Digest
+	ID        message.ID
+	Src, Dst  trace.NodeID
+	GenAt     sim.Time
+	Delivered bool
+	Replicas  int
+	Timeline  []obs.Record
+}
+
+// HandoffCount is one custody-transfer counter in a State.
+type HandoffCount struct {
+	Hash     g2gcrypto.Digest
+	From, To trace.NodeID
+	N        int
+}
+
+// PendingFailure is a failed test still awaiting its detection.
+type PendingFailure struct {
+	Accused trace.NodeID
+	At      sim.Time
+}
+
+// State is the serializable full state of an Auditor.
+type State struct {
+	Events    int64
+	Hasher    []byte
+	Pending   [][]byte
+	PendingAt sim.Time
+
+	Generated  int
+	Delivered  int
+	Replicated int
+	TestsRun   int
+	TestsFail  int
+
+	Msgs       []MsgEntry
+	Deliveries []message.ID
+	Detections []Detection
+
+	ReplicatedBy []HandoffCount
+	ProvenBy     []HandoffCount
+
+	PendingFailures []PendingFailure
+	PoMReported     int
+
+	Violations    []Violation
+	ViolationsAll int
+}
+
+// State captures the auditor's shadow model without disturbing it.
+func (a *Auditor) State() (State, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	marshaler, ok := a.hasher.(encoding.BinaryMarshaler)
+	if !ok {
+		return State{}, errors.New("invariant: digest hasher is not marshalable")
+	}
+	hstate, err := marshaler.MarshalBinary()
+	if err != nil {
+		return State{}, fmt.Errorf("invariant: marshal hasher: %w", err)
+	}
+
+	st := State{
+		Events:          a.events,
+		Hasher:          hstate,
+		PendingAt:       a.pendingAt,
+		Generated:       a.generated,
+		Delivered:       a.delivered,
+		Replicated:      a.replicated,
+		TestsRun:        a.testsRun,
+		TestsFail:       a.testsFail,
+		PoMReported:     a.pomReported,
+		ViolationsAll:   a.violationsAll,
+		Deliveries:      append([]message.ID(nil), a.deliveries...),
+		Detections:      append([]Detection(nil), a.detections...),
+		Violations:      append([]Violation(nil), a.violations...),
+		PendingFailures: make([]PendingFailure, len(a.pendingFailures)),
+	}
+	for i, p := range a.pendingFailures {
+		st.PendingFailures[i] = PendingFailure{Accused: p.accused, At: p.at}
+	}
+	st.Pending = make([][]byte, len(a.pending))
+	for i, rec := range a.pending {
+		st.Pending[i] = append([]byte(nil), rec...)
+	}
+	st.Msgs = make([]MsgEntry, 0, len(a.msgs))
+	for h, m := range a.msgs {
+		st.Msgs = append(st.Msgs, MsgEntry{
+			Hash:      h,
+			ID:        m.id,
+			Src:       m.src,
+			Dst:       m.dst,
+			GenAt:     m.genAt,
+			Delivered: m.delivered,
+			Replicas:  m.replicas,
+			Timeline:  append([]obs.Record(nil), m.timeline...),
+		})
+	}
+	sort.Slice(st.Msgs, func(i, j int) bool {
+		return bytes.Compare(st.Msgs[i].Hash[:], st.Msgs[j].Hash[:]) < 0
+	})
+	st.ReplicatedBy = sortedHandoffs(a.replicatedBy)
+	st.ProvenBy = sortedHandoffs(a.provenBy)
+	return st, nil
+}
+
+func sortedHandoffs(m map[handoff]int) []HandoffCount {
+	out := make([]HandoffCount, 0, len(m))
+	for k, n := range m {
+		out = append(out, HandoffCount{Hash: k.hash, From: k.from, To: k.to, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := bytes.Compare(out[i].Hash[:], out[j].Hash[:]); c != 0 {
+			return c < 0
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Restore rebuilds the shadow model from a captured state. The receiver must
+// have been built with New using the same Config as the auditor the state
+// was captured from.
+func (a *Auditor) Restore(st State) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	unmarshaler, ok := a.hasher.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return errors.New("invariant: digest hasher is not restorable")
+	}
+	if err := unmarshaler.UnmarshalBinary(st.Hasher); err != nil {
+		return fmt.Errorf("invariant: restore hasher: %w", err)
+	}
+
+	a.events = st.Events
+	a.pendingAt = st.PendingAt
+	a.generated = st.Generated
+	a.delivered = st.Delivered
+	a.replicated = st.Replicated
+	a.testsRun = st.TestsRun
+	a.testsFail = st.TestsFail
+	a.pomReported = st.PoMReported
+	a.violationsAll = st.ViolationsAll
+	a.deliveries = append([]message.ID(nil), st.Deliveries...)
+	a.detections = append([]Detection(nil), st.Detections...)
+	a.violations = append([]Violation(nil), st.Violations...)
+
+	a.pending = make([][]byte, len(st.Pending))
+	for i, rec := range st.Pending {
+		a.pending[i] = append([]byte(nil), rec...)
+	}
+	a.pendingFailures = make([]pendingFailure, len(st.PendingFailures))
+	for i, p := range st.PendingFailures {
+		a.pendingFailures[i] = pendingFailure{accused: p.Accused, at: p.At}
+	}
+	a.msgs = make(map[g2gcrypto.Digest]*msgState, len(st.Msgs))
+	for _, e := range st.Msgs {
+		a.msgs[e.Hash] = &msgState{
+			id:        e.ID,
+			src:       e.Src,
+			dst:       e.Dst,
+			genAt:     e.GenAt,
+			delivered: e.Delivered,
+			replicas:  e.Replicas,
+			timeline:  append([]obs.Record(nil), e.Timeline...),
+		}
+	}
+	a.replicatedBy = make(map[handoff]int, len(st.ReplicatedBy))
+	for _, h := range st.ReplicatedBy {
+		a.replicatedBy[handoff{hash: h.Hash, from: h.From, to: h.To}] = h.N
+	}
+	a.provenBy = make(map[handoff]int, len(st.ProvenBy))
+	for _, h := range st.ProvenBy {
+		a.provenBy[handoff{hash: h.Hash, from: h.From, to: h.To}] = h.N
+	}
+	return nil
+}

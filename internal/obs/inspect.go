@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -26,6 +28,7 @@ type Inspector struct {
 
 	listener net.Listener
 	server   *http.Server
+	done     chan struct{} // closed on stop: ends open SSE streams so Shutdown can drain
 }
 
 // inspectorSnapshot is the /snapshot response envelope.
@@ -63,6 +66,7 @@ func (i *Inspector) Start() (stop func() error, err error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	i.listener = ln
+	i.done = make(chan struct{})
 	i.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = i.server.Serve(ln) }()
 	return i.stop, nil
@@ -77,11 +81,21 @@ func (i *Inspector) BoundAddr() string {
 	return i.listener.Addr().String()
 }
 
+// stop shuts the server down gracefully: open SSE streams are told to end,
+// in-flight requests drain, and the listener is released before returning.
+// Connections that refuse to drain within the grace period are closed hard,
+// so the listener never leaks either way.
 func (i *Inspector) stop() error {
 	if i.server == nil {
 		return nil
 	}
-	err := i.server.Close()
+	close(i.done)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := i.server.Shutdown(ctx)
+	if err != nil {
+		err = errors.Join(err, i.server.Close())
+	}
 	i.server = nil
 	i.listener = nil
 	return err
@@ -144,6 +158,8 @@ func (i *Inspector) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-i.done:
 			return
 		case <-t.C:
 			send()

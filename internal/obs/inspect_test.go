@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -125,5 +126,64 @@ func TestInspectorNilMetrics(t *testing.T) {
 	insp := &Inspector{Addr: "127.0.0.1:0"}
 	if _, err := insp.Start(); err == nil {
 		t.Fatal("Start with nil metrics must fail")
+	}
+}
+
+// TestInspectorStopReleasesListener pins graceful shutdown: stop must return
+// promptly even while an SSE stream — which never goes idle on its own — is
+// open, end that stream, and release the port so it can be bound again.
+func TestInspectorStopReleasesListener(t *testing.T) {
+	insp := &Inspector{Addr: "127.0.0.1:0", Metrics: NewMetrics(), Every: 10 * time.Millisecond}
+	stop, err := insp.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := insp.BoundAddr()
+
+	// Hold an SSE stream open across the shutdown.
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("SSE stream yielded nothing")
+	}
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+	select {
+	case err := <-stopped:
+		if err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop hung on the open SSE stream")
+	}
+
+	// The stream must terminate rather than hang forever.
+	streamEnd := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+		}
+		close(streamEnd)
+	}()
+	select {
+	case <-streamEnd:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after stop")
+	}
+
+	// The port is free again: a leaked listener would make this bind fail.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listener leaked, port still bound: %v", err)
+	}
+	ln.Close()
+
+	// A second stop is a no-op, not a panic or double close.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
 	}
 }

@@ -1,0 +1,142 @@
+package obs
+
+// Checkpoint support: the engine's checkpoint format carries the counters
+// below so that a resumed run's registry — and, more importantly, the
+// invariant auditor's end-of-run telemetry reconciliation — sees the whole
+// run, not just the resumed tail. Only cumulative event counters are
+// captured; wall-clock quantities (phase walls, crypto timers, spans) and
+// kernel stats describe the process that recorded them and are deliberately
+// left out (a resumed run reports its own).
+
+// HistogramState is the serializable full state of a Histogram.
+type HistogramState struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []int64
+}
+
+// State captures the histogram's counts.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		st.Buckets[i] = h.buckets[i].Load()
+	}
+	return st
+}
+
+// AddState folds a captured state into the histogram. Adding to a fresh
+// histogram reproduces the captured one exactly; bucket vectors from other
+// builds are folded positionally and excess buckets land in the last.
+func (h *Histogram) AddState(st HistogramState) {
+	h.count.Add(st.Count)
+	h.sum.Add(st.Sum)
+	h.max.Observe(st.Max)
+	for i, n := range st.Buckets {
+		if i >= histBuckets {
+			h.buckets[histBuckets-1].Add(n)
+			continue
+		}
+		h.buckets[i].Add(n)
+	}
+}
+
+// EngineCounterState holds EngineStats' cumulative counters.
+type EngineCounterState struct {
+	ContactsReplayed  int64
+	SessionsRun       int64
+	SessionsMoved     int64
+	Cascades          int64
+	MessagesGenerated int64
+	MessagesRelayed   int64
+	MessagesDelivered int64
+	PoMBroadcasts     int64
+}
+
+// ProtocolCounterState holds ProtocolStats' cumulative counters.
+type ProtocolCounterState struct {
+	TestsStarted   int64
+	TestsPassed    int64
+	TestsFailed    int64
+	QualityUpdates int64
+	WireCount      []int64
+	WireBytes      []int64
+	WireSizes      HistogramState
+}
+
+// CryptoCounterState holds CryptoStats' cumulative counters.
+type CryptoCounterState struct {
+	HeavyHMACIterations int64
+}
+
+// CounterState is the checkpointable subset of a registry.
+type CounterState struct {
+	Engine   EngineCounterState
+	Protocol ProtocolCounterState
+	Crypto   CryptoCounterState
+}
+
+// CounterState captures the registry's cumulative counters.
+func (m *Metrics) CounterState() CounterState {
+	st := CounterState{
+		Engine: EngineCounterState{
+			ContactsReplayed:  m.Engine.ContactsReplayed.Load(),
+			SessionsRun:       m.Engine.SessionsRun.Load(),
+			SessionsMoved:     m.Engine.SessionsMoved.Load(),
+			Cascades:          m.Engine.Cascades.Load(),
+			MessagesGenerated: m.Engine.MessagesGenerated.Load(),
+			MessagesRelayed:   m.Engine.MessagesRelayed.Load(),
+			MessagesDelivered: m.Engine.MessagesDelivered.Load(),
+			PoMBroadcasts:     m.Engine.PoMBroadcasts.Load(),
+		},
+		Protocol: ProtocolCounterState{
+			TestsStarted:   m.Protocol.TestsStarted.Load(),
+			TestsPassed:    m.Protocol.TestsPassed.Load(),
+			TestsFailed:    m.Protocol.TestsFailed.Load(),
+			QualityUpdates: m.Protocol.QualityUpdates.Load(),
+			WireCount:      make([]int64, maxWireKinds),
+			WireBytes:      make([]int64, maxWireKinds),
+			WireSizes:      m.Protocol.WireSizes.State(),
+		},
+		Crypto: CryptoCounterState{
+			HeavyHMACIterations: m.Crypto.HeavyHMACIterations.Load(),
+		},
+	}
+	for k := 0; k < maxWireKinds; k++ {
+		st.Protocol.WireCount[k] = m.Protocol.wireCount[k].Load()
+		st.Protocol.WireBytes[k] = m.Protocol.wireBytes[k].Load()
+	}
+	return st
+}
+
+// AddCounterState folds a captured counter state into the registry. Folding
+// into a fresh registry reproduces the captured counters exactly.
+func (m *Metrics) AddCounterState(st CounterState) {
+	m.Engine.ContactsReplayed.Add(st.Engine.ContactsReplayed)
+	m.Engine.SessionsRun.Add(st.Engine.SessionsRun)
+	m.Engine.SessionsMoved.Add(st.Engine.SessionsMoved)
+	m.Engine.Cascades.Add(st.Engine.Cascades)
+	m.Engine.MessagesGenerated.Add(st.Engine.MessagesGenerated)
+	m.Engine.MessagesRelayed.Add(st.Engine.MessagesRelayed)
+	m.Engine.MessagesDelivered.Add(st.Engine.MessagesDelivered)
+	m.Engine.PoMBroadcasts.Add(st.Engine.PoMBroadcasts)
+
+	m.Protocol.TestsStarted.Add(st.Protocol.TestsStarted)
+	m.Protocol.TestsPassed.Add(st.Protocol.TestsPassed)
+	m.Protocol.TestsFailed.Add(st.Protocol.TestsFailed)
+	m.Protocol.QualityUpdates.Add(st.Protocol.QualityUpdates)
+	for k := 0; k < len(st.Protocol.WireCount) && k < maxWireKinds; k++ {
+		m.Protocol.wireCount[k].Add(st.Protocol.WireCount[k])
+	}
+	for k := 0; k < len(st.Protocol.WireBytes) && k < maxWireKinds; k++ {
+		m.Protocol.wireBytes[k].Add(st.Protocol.WireBytes[k])
+	}
+	m.Protocol.WireSizes.AddState(st.Protocol.WireSizes)
+
+	m.Crypto.HeavyHMACIterations.Add(st.Crypto.HeavyHMACIterations)
+}

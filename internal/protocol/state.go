@@ -1,0 +1,577 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"give2get/internal/g2gcrypto"
+	"give2get/internal/message"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+	"give2get/internal/wire"
+)
+
+// Checkpoint support: every node type flattens its maps into sorted slices
+// and serializes messages and signed envelopes through their canonical wire
+// encodings, so the engine's checkpoint is deterministic (same run state →
+// same bytes) and a resumed node is indistinguishable from one that never
+// stopped. Slices whose order is protocol-visible (collected PoRs, embedded
+// attachments, failed-FQ declarations, pending tests) travel verbatim.
+
+// Stateful is the checkpoint seam implemented by every protocol node.
+type Stateful interface {
+	// CaptureState snapshots the node without disturbing it.
+	CaptureState() NodeState
+	// RestoreState rebuilds the node from a snapshot. The receiver must be a
+	// freshly constructed node of the same kind, env, identity, and behavior
+	// as the one the snapshot was captured from.
+	RestoreState(st NodeState) error
+}
+
+// NodeState is one node's serializable protocol state. Exactly one of the
+// per-protocol branches is set, matching the node's kind.
+type NodeState struct {
+	Base          BaseState
+	Epidemic      *EpidemicState
+	G2GEpidemic   *G2GEpidemicState
+	Delegation    *DelegationState
+	G2GDelegation *G2GDelegationState
+}
+
+// BaseState is the state shared by all protocols.
+type BaseState struct {
+	Usage     Usage
+	Blacklist []trace.NodeID // sorted
+	Seq       uint32
+}
+
+// EpidemicState is an epidemicNode's protocol state.
+type EpidemicState struct {
+	Seen   []g2gcrypto.Digest // sorted
+	Buffer []EpidemicMsg      // sorted by message hash
+}
+
+// EpidemicMsg is one buffered message of vanilla Epidemic.
+type EpidemicMsg struct {
+	Msg   []byte // message.Message.Marshal()
+	GenAt sim.Time
+}
+
+// DelegationState is a delegationNode's protocol state.
+type DelegationState struct {
+	Seen    []g2gcrypto.Digest // sorted
+	Buffer  []DelegationMsg    // sorted by message hash
+	Quality []MeetingLog       // sorted by peer
+}
+
+// DelegationMsg is one buffered message of vanilla Delegation.
+type DelegationMsg struct {
+	Msg   []byte
+	GenAt sim.Time
+	FM    message.Quality
+}
+
+// MeetingLog is one peer's encounter history in a quality table.
+type MeetingLog struct {
+	Peer  trace.NodeID
+	Times []sim.Time // ascending, as recorded
+}
+
+// G2GEpidemicState is a g2gEpidemicNode's protocol state.
+type G2GEpidemicState struct {
+	Seen      []g2gcrypto.Digest     // sorted
+	Custody   []G2GCustodyState      // sorted by hash
+	Tests     []TestsEntry           // sorted by hash
+	PendingIn []PendingTransferState // sorted by hash
+}
+
+// G2GDelegationState is a g2gDelegationNode's protocol state.
+type G2GDelegationState struct {
+	Seen      []g2gcrypto.Digest     // sorted
+	Custody   []G2GCustodyState      // sorted by hash
+	Tests     []TestsEntry           // sorted by hash
+	PendingIn []PendingTransferState // sorted by hash
+	Claims    []ClaimState           // sorted by hash
+	Audited   []AuditedEntry         // sorted by (responder, frame)
+	Quality   []MeetingLog           // sorted by peer
+}
+
+// G2GCustodyState is one message custody record of either G2G protocol. The
+// delegation-only fields (FM, Attachments, FailedFQ) are zero for G2G
+// Epidemic.
+type G2GCustodyState struct {
+	Msg        []byte // message.Message.Marshal(); raw payload when RawPresent
+	RawPresent bool
+	GenAt      sim.Time
+	FM         message.Quality
+	IsSource   bool
+	IsDest     bool
+	Dropped    bool
+	PoRs       [][]byte       // wire.Signed.Marshal(), order preserved
+	RelayedTo  []trace.NodeID // sorted
+	RelayCount int
+
+	Attachments [][]byte // order preserved
+	FailedFQ    [][]byte // order preserved
+}
+
+// TestsEntry is the pending sender-test list for one message.
+type TestsEntry struct {
+	Hash  g2gcrypto.Digest
+	Tests []PendingTestState // order preserved
+}
+
+// PendingTestState is one relay awaiting (or past) its challenge.
+type PendingTestState struct {
+	Relay      trace.NodeID
+	PoR        []byte // wire.Signed.Marshal()
+	LabelGiven message.Quality
+	Tested     bool
+}
+
+// PendingTransferState is a relay-phase handoff caught between the RELAY and
+// KEY steps (it outlives the session when the key reveal fails to verify).
+type PendingTransferState struct {
+	Hash        g2gcrypto.Digest
+	From        trace.NodeID
+	FM          message.Quality
+	GenAt       sim.Time
+	Encrypted   []byte
+	Attachments [][]byte // delegation only, order preserved
+}
+
+// ClaimState is one FQ_RESP this node issued and still remembers.
+type ClaimState struct {
+	Hash g2gcrypto.Digest
+	Resp wire.FQResponse
+}
+
+// AuditedEntry is one (responder, frame) pair the destination has audited.
+type AuditedEntry struct {
+	Responder trace.NodeID
+	Frame     message.FrameIndex
+}
+
+var (
+	_ Stateful = (*epidemicNode)(nil)
+	_ Stateful = (*g2gEpidemicNode)(nil)
+	_ Stateful = (*delegationNode)(nil)
+	_ Stateful = (*g2gDelegationNode)(nil)
+)
+
+// --- shared helpers ---
+
+func (b *base) captureBase(seq uint32) BaseState {
+	st := BaseState{Usage: b.usage, Seq: seq}
+	st.Blacklist = make([]trace.NodeID, 0, len(b.blacklist))
+	for id := range b.blacklist {
+		st.Blacklist = append(st.Blacklist, id)
+	}
+	sort.Slice(st.Blacklist, func(i, j int) bool { return st.Blacklist[i] < st.Blacklist[j] })
+	return st
+}
+
+func (b *base) restoreBase(st BaseState) uint32 {
+	b.usage = st.Usage
+	b.blacklist = make(map[trace.NodeID]struct{}, len(st.Blacklist))
+	for _, id := range st.Blacklist {
+		b.blacklist[id] = struct{}{}
+	}
+	return st.Seq
+}
+
+func sortedSeen(seen map[g2gcrypto.Digest]struct{}) []g2gcrypto.Digest {
+	out := make([]g2gcrypto.Digest, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}
+
+func restoreSeen(hashes []g2gcrypto.Digest) map[g2gcrypto.Digest]struct{} {
+	out := make(map[g2gcrypto.Digest]struct{}, len(hashes))
+	for _, h := range hashes {
+		out[h] = struct{}{}
+	}
+	return out
+}
+
+func sortedPeers(m map[trace.NodeID]struct{}) []trace.NodeID {
+	out := make([]trace.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func restorePeers(ids []trace.NodeID) map[trace.NodeID]struct{} {
+	out := make(map[trace.NodeID]struct{}, len(ids))
+	for _, id := range ids {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+func marshalSignedSlice(sigs []wire.Signed) [][]byte {
+	if len(sigs) == 0 {
+		return nil
+	}
+	out := make([][]byte, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.Marshal()
+	}
+	return out
+}
+
+func unmarshalSignedSlice(data [][]byte) ([]wire.Signed, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	out := make([]wire.Signed, len(data))
+	for i, raw := range data {
+		s, err := wire.UnmarshalSigned(raw)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: restore signed envelope %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func (q *qualityTable) capture() []MeetingLog {
+	out := make([]MeetingLog, 0, len(q.meetings))
+	for peer, times := range q.meetings {
+		out = append(out, MeetingLog{Peer: peer, Times: append([]sim.Time(nil), times...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+func (q *qualityTable) restore(logs []MeetingLog) {
+	q.meetings = make(map[trace.NodeID][]sim.Time, len(logs))
+	for _, l := range logs {
+		q.meetings[l.Peer] = append([]sim.Time(nil), l.Times...)
+	}
+}
+
+// --- epidemic ---
+
+// CaptureState implements Stateful.
+func (n *epidemicNode) CaptureState() NodeState {
+	st := &EpidemicState{Seen: sortedSeen(n.seen)}
+	st.Buffer = make([]EpidemicMsg, 0, len(n.buffer))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
+		c := n.buffer[h]
+		st.Buffer = append(st.Buffer, EpidemicMsg{Msg: c.msg.Marshal(), GenAt: c.genAt})
+	}
+	return NodeState{Base: n.captureBase(n.seq), Epidemic: st}
+}
+
+// RestoreState implements Stateful.
+func (n *epidemicNode) RestoreState(st NodeState) error {
+	if st.Epidemic == nil {
+		return errors.New("protocol: state is not an epidemic node's")
+	}
+	n.seq = n.restoreBase(st.Base)
+	n.seen = restoreSeen(st.Epidemic.Seen)
+	n.buffer = make(map[g2gcrypto.Digest]*epidemicCustody, len(st.Epidemic.Buffer))
+	for _, e := range st.Epidemic.Buffer {
+		m, err := message.Unmarshal(e.Msg)
+		if err != nil {
+			return fmt.Errorf("protocol: restore buffered message: %w", err)
+		}
+		n.buffer[m.Hash()] = &epidemicCustody{msg: m, genAt: e.GenAt}
+	}
+	return nil
+}
+
+// --- delegation ---
+
+// CaptureState implements Stateful.
+func (n *delegationNode) CaptureState() NodeState {
+	st := &DelegationState{Seen: sortedSeen(n.seen), Quality: n.quality.capture()}
+	st.Buffer = make([]DelegationMsg, 0, len(n.buffer))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
+		c := n.buffer[h]
+		st.Buffer = append(st.Buffer, DelegationMsg{Msg: c.msg.Marshal(), GenAt: c.genAt, FM: c.fm})
+	}
+	return NodeState{Base: n.captureBase(n.seq), Delegation: st}
+}
+
+// RestoreState implements Stateful.
+func (n *delegationNode) RestoreState(st NodeState) error {
+	if st.Delegation == nil {
+		return errors.New("protocol: state is not a delegation node's")
+	}
+	n.seq = n.restoreBase(st.Base)
+	n.seen = restoreSeen(st.Delegation.Seen)
+	n.quality.restore(st.Delegation.Quality)
+	n.buffer = make(map[g2gcrypto.Digest]*delegationCustody, len(st.Delegation.Buffer))
+	for _, e := range st.Delegation.Buffer {
+		m, err := message.Unmarshal(e.Msg)
+		if err != nil {
+			return fmt.Errorf("protocol: restore buffered message: %w", err)
+		}
+		n.buffer[m.Hash()] = &delegationCustody{msg: m, genAt: e.GenAt, fm: e.FM}
+	}
+	return nil
+}
+
+// --- G2G custody, shared by both G2G protocols ---
+
+func captureG2GCustody(c *g2gCustody) G2GCustodyState {
+	return G2GCustodyState{
+		Msg:        c.msg.Marshal(),
+		RawPresent: c.raw != nil,
+		GenAt:      c.genAt,
+		IsSource:   c.isSource,
+		IsDest:     c.isDest,
+		Dropped:    c.dropped,
+		PoRs:       marshalSignedSlice(c.pors),
+		RelayedTo:  sortedPeers(c.relayedTo),
+		RelayCount: c.relayCount,
+	}
+}
+
+func restoreG2GCustody(e G2GCustodyState) (*g2gCustody, error) {
+	m, err := message.Unmarshal(e.Msg)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: restore custody message: %w", err)
+	}
+	pors, err := unmarshalSignedSlice(e.PoRs)
+	if err != nil {
+		return nil, err
+	}
+	c := &g2gCustody{
+		msg: m, hash: m.Hash(), genAt: e.GenAt,
+		isSource: e.IsSource, isDest: e.IsDest, dropped: e.Dropped,
+		pors:       pors,
+		relayedTo:  restorePeers(e.RelayedTo),
+		relayCount: e.RelayCount,
+	}
+	if e.RawPresent {
+		c.raw = e.Msg
+	}
+	return c, nil
+}
+
+func captureDelCustody(c *g2gDelCustody) G2GCustodyState {
+	return G2GCustodyState{
+		Msg:         c.msg.Marshal(),
+		RawPresent:  c.raw != nil,
+		GenAt:       c.genAt,
+		FM:          c.fm,
+		IsSource:    c.isSource,
+		IsDest:      c.isDest,
+		Dropped:     c.dropped,
+		PoRs:        marshalSignedSlice(c.pors),
+		RelayedTo:   sortedPeers(c.relayedTo),
+		RelayCount:  c.relayCount,
+		Attachments: marshalSignedSlice(c.attachments),
+		FailedFQ:    marshalSignedSlice(c.failedFQ),
+	}
+}
+
+func restoreDelCustody(e G2GCustodyState) (*g2gDelCustody, error) {
+	m, err := message.Unmarshal(e.Msg)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: restore custody message: %w", err)
+	}
+	pors, err := unmarshalSignedSlice(e.PoRs)
+	if err != nil {
+		return nil, err
+	}
+	attachments, err := unmarshalSignedSlice(e.Attachments)
+	if err != nil {
+		return nil, err
+	}
+	failedFQ, err := unmarshalSignedSlice(e.FailedFQ)
+	if err != nil {
+		return nil, err
+	}
+	c := &g2gDelCustody{
+		msg: m, hash: m.Hash(), genAt: e.GenAt, fm: e.FM,
+		isSource: e.IsSource, isDest: e.IsDest, dropped: e.Dropped,
+		pors:        pors,
+		attachments: attachments,
+		failedFQ:    failedFQ,
+		relayedTo:   restorePeers(e.RelayedTo),
+		relayCount:  e.RelayCount,
+	}
+	if e.RawPresent {
+		c.raw = e.Msg
+	}
+	return c, nil
+}
+
+// --- G2G epidemic ---
+
+// CaptureState implements Stateful.
+func (n *g2gEpidemicNode) CaptureState() NodeState {
+	st := &G2GEpidemicState{Seen: sortedSeen(n.seen)}
+	st.Custody = make([]G2GCustodyState, 0, len(n.custody))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
+		st.Custody = append(st.Custody, captureG2GCustody(n.custody[h]))
+	}
+	st.Tests = make([]TestsEntry, 0, len(n.tests))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
+		entry := TestsEntry{Hash: h}
+		for _, pt := range n.tests[h] {
+			entry.Tests = append(entry.Tests, PendingTestState{
+				Relay: pt.relay, PoR: pt.por.Marshal(), Tested: pt.tested,
+			})
+		}
+		st.Tests = append(st.Tests, entry)
+	}
+	st.PendingIn = make([]PendingTransferState, 0, len(n.pendingIn))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.pendingIn) {
+		p := n.pendingIn[h]
+		st.PendingIn = append(st.PendingIn, PendingTransferState{
+			Hash: h, From: p.from, FM: p.fm, GenAt: p.genAt,
+			Encrypted: append([]byte(nil), p.encrypted...),
+		})
+	}
+	return NodeState{Base: n.captureBase(n.seq), G2GEpidemic: st}
+}
+
+// RestoreState implements Stateful.
+func (n *g2gEpidemicNode) RestoreState(st NodeState) error {
+	if st.G2GEpidemic == nil {
+		return errors.New("protocol: state is not a g2g-epidemic node's")
+	}
+	s := st.G2GEpidemic
+	n.seq = n.restoreBase(st.Base)
+	n.seen = restoreSeen(s.Seen)
+	n.custody = make(map[g2gcrypto.Digest]*g2gCustody, len(s.Custody))
+	for _, e := range s.Custody {
+		c, err := restoreG2GCustody(e)
+		if err != nil {
+			return err
+		}
+		n.custody[c.hash] = c
+	}
+	n.tests = make(map[g2gcrypto.Digest][]*pendingTest, len(s.Tests))
+	for _, entry := range s.Tests {
+		list := make([]*pendingTest, len(entry.Tests))
+		for i, t := range entry.Tests {
+			por, err := wire.UnmarshalSigned(t.PoR)
+			if err != nil {
+				return fmt.Errorf("protocol: restore pending test: %w", err)
+			}
+			list[i] = &pendingTest{relay: t.Relay, por: por, tested: t.Tested}
+		}
+		n.tests[entry.Hash] = list
+	}
+	n.pendingIn = make(map[g2gcrypto.Digest]*pendingTransfer, len(s.PendingIn))
+	for _, p := range s.PendingIn {
+		n.pendingIn[p.Hash] = &pendingTransfer{
+			from: p.From, fm: p.FM, genAt: p.GenAt,
+			encrypted: append([]byte(nil), p.Encrypted...),
+		}
+	}
+	return nil
+}
+
+// --- G2G delegation ---
+
+// CaptureState implements Stateful.
+func (n *g2gDelegationNode) CaptureState() NodeState {
+	st := &G2GDelegationState{Seen: sortedSeen(n.seen), Quality: n.quality.capture()}
+	st.Custody = make([]G2GCustodyState, 0, len(n.custody))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
+		st.Custody = append(st.Custody, captureDelCustody(n.custody[h]))
+	}
+	st.Tests = make([]TestsEntry, 0, len(n.tests))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
+		entry := TestsEntry{Hash: h}
+		for _, pt := range n.tests[h] {
+			entry.Tests = append(entry.Tests, PendingTestState{
+				Relay: pt.relay, PoR: pt.por.Marshal(),
+				LabelGiven: pt.labelGiven, Tested: pt.tested,
+			})
+		}
+		st.Tests = append(st.Tests, entry)
+	}
+	st.PendingIn = make([]PendingTransferState, 0, len(n.pendingIn))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.pendingIn) {
+		p := n.pendingIn[h]
+		st.PendingIn = append(st.PendingIn, PendingTransferState{
+			Hash: h, From: p.from, FM: p.fm, GenAt: p.genAt,
+			Encrypted:   append([]byte(nil), p.encrypted...),
+			Attachments: marshalSignedSlice(p.attachments),
+		})
+	}
+	st.Claims = make([]ClaimState, 0, len(n.claims))
+	for _, h := range sortedDigestsInto(&n.digestScratch, n.claims) {
+		st.Claims = append(st.Claims, ClaimState{Hash: h, Resp: n.claims[h]})
+	}
+	st.Audited = make([]AuditedEntry, 0, len(n.audited))
+	for k := range n.audited {
+		st.Audited = append(st.Audited, AuditedEntry{Responder: k.responder, Frame: k.frame})
+	}
+	sort.Slice(st.Audited, func(i, j int) bool {
+		if st.Audited[i].Responder != st.Audited[j].Responder {
+			return st.Audited[i].Responder < st.Audited[j].Responder
+		}
+		return st.Audited[i].Frame < st.Audited[j].Frame
+	})
+	return NodeState{Base: n.captureBase(n.seq), G2GDelegation: st}
+}
+
+// RestoreState implements Stateful.
+func (n *g2gDelegationNode) RestoreState(st NodeState) error {
+	if st.G2GDelegation == nil {
+		return errors.New("protocol: state is not a g2g-delegation node's")
+	}
+	s := st.G2GDelegation
+	n.seq = n.restoreBase(st.Base)
+	n.seen = restoreSeen(s.Seen)
+	n.quality.restore(s.Quality)
+	n.custody = make(map[g2gcrypto.Digest]*g2gDelCustody, len(s.Custody))
+	for _, e := range s.Custody {
+		c, err := restoreDelCustody(e)
+		if err != nil {
+			return err
+		}
+		n.custody[c.hash] = c
+	}
+	n.tests = make(map[g2gcrypto.Digest][]*delPendingTest, len(s.Tests))
+	for _, entry := range s.Tests {
+		list := make([]*delPendingTest, len(entry.Tests))
+		for i, t := range entry.Tests {
+			por, err := wire.UnmarshalSigned(t.PoR)
+			if err != nil {
+				return fmt.Errorf("protocol: restore pending test: %w", err)
+			}
+			list[i] = &delPendingTest{
+				relay: t.Relay, por: por, labelGiven: t.LabelGiven, tested: t.Tested,
+			}
+		}
+		n.tests[entry.Hash] = list
+	}
+	n.pendingIn = make(map[g2gcrypto.Digest]*delPendingTransfer, len(s.PendingIn))
+	for _, p := range s.PendingIn {
+		attachments, err := unmarshalSignedSlice(p.Attachments)
+		if err != nil {
+			return err
+		}
+		n.pendingIn[p.Hash] = &delPendingTransfer{
+			from: p.From, fm: p.FM, genAt: p.GenAt,
+			encrypted:   append([]byte(nil), p.Encrypted...),
+			attachments: attachments,
+		}
+	}
+	n.claims = make(map[g2gcrypto.Digest]wire.FQResponse, len(s.Claims))
+	for _, c := range s.Claims {
+		n.claims[c.Hash] = c.Resp
+	}
+	n.audited = make(map[auditKey]struct{}, len(s.Audited))
+	for _, a := range s.Audited {
+		n.audited[auditKey{responder: a.Responder, frame: a.Frame}] = struct{}{}
+	}
+	return nil
+}

@@ -17,8 +17,12 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +30,7 @@ import (
 
 	"give2get/internal/engine"
 	"give2get/internal/obs"
+	"give2get/internal/sim"
 )
 
 // Spec is one schedulable simulation run.
@@ -79,6 +84,37 @@ type Options struct {
 	// concurrent workers are serialized; within one run the dump is
 	// deterministic (simulation-time stamps only).
 	FlightDump io.Writer
+	// Context, when non-nil, cancels the batch gracefully: in-flight runs
+	// finish their current instant, flush their checkpoints, and return
+	// engine.ErrInterrupted; undispatched specs are marked Skipped. It is
+	// also installed as each run's engine Context unless the spec carries
+	// its own.
+	Context context.Context
+	// Journal is the path of the sweep journal: one synced JSON line per
+	// completed run, headed by a line pinning the spec list. Empty disables
+	// journaling.
+	Journal string
+	// Resume replays an existing Journal before dispatching: completed
+	// specs are restored from their journal snapshots (Outcome.Restored)
+	// instead of re-running, and specs that were in flight restart from
+	// their engine checkpoint in CheckpointDir when one survived. The
+	// journal must match the spec list (count, labels, order) or the batch
+	// fails with ErrJournalMismatch.
+	Resume bool
+	// CheckpointDir, when non-empty, gives every run an engine checkpoint
+	// file (spec-NNNN.ckpt) so an interrupted or crashed run can restart
+	// mid-flight on Resume. Checkpoints of completed runs are removed.
+	// Specs on the real crypto provider are excluded (not resumable).
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time period of periodic checkpoint
+	// emission within each run; 0 flushes only on graceful interruption.
+	CheckpointEvery sim.Time
+	// Retries is how many times a failed run is re-attempted before its
+	// error sticks. Interruptions and audit failures are never retried.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 1s).
+	RetryBackoff time.Duration
 }
 
 // Outcome is the result slot of one spec, indexed like the input specs.
@@ -90,8 +126,12 @@ type Outcome struct {
 	Result *engine.Result
 	// Err is the run's own failure, if any.
 	Err error
-	// Skipped marks specs FailFast cancelled before they started.
+	// Skipped marks specs FailFast cancelled (or context-cancelled) before
+	// they started.
 	Skipped bool
+	// Restored marks outcomes replayed from the sweep journal rather than
+	// executed; restored results carry no wall-clock telemetry.
+	Restored bool
 	// Wall is the run's wall-clock duration (zero when skipped). It is the
 	// one nondeterministic field of an outcome.
 	Wall time.Duration
@@ -130,6 +170,20 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 	if len(specs) == 0 {
 		return out, nil
 	}
+	var jnl *journal
+	done := make([]bool, len(specs))
+	if opts.Journal != "" {
+		j, restored, err := openJournal(opts.Journal, specs, opts.Resume)
+		if err != nil {
+			return out, err
+		}
+		jnl = j
+		defer jnl.close()
+		for i, o := range restored {
+			out[i] = o
+			done[i] = true
+		}
+	}
 	jobs := opts.Jobs
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -139,9 +193,10 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 	}
 
 	var (
-		next      atomic.Int64 // next spec index to dispatch
-		stop      atomic.Bool  // FailFast latch
-		completed atomic.Int64 // finished runs, for progress numbering
+		next        atomic.Int64 // next spec index to dispatch
+		stop        atomic.Bool  // FailFast latch
+		interrupted atomic.Bool  // cancellation latch, any policy
+		completed   atomic.Int64 // finished runs, for progress numbering
 		progMu    sync.Mutex   // serializes progress lines
 		dumpMu    sync.Mutex   // serializes flight-recorder dumps
 		wg        sync.WaitGroup
@@ -153,8 +208,15 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 			if i >= len(specs) {
 				return
 			}
+			if done[i] {
+				continue // journal-restored
+			}
 			out[i].Label = specs[i].Label
-			if opts.Policy == FailFast && stop.Load() {
+			if (opts.Policy == FailFast && stop.Load()) || interrupted.Load() {
+				out[i].Skipped = true
+				continue
+			}
+			if opts.Context != nil && opts.Context.Err() != nil {
 				out[i].Skipped = true
 				continue
 			}
@@ -162,10 +224,33 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 			if cfg.Telemetry == nil {
 				cfg.Telemetry = opts.Telemetry
 			}
+			if cfg.Context == nil {
+				cfg.Context = opts.Context
+			}
+			ckpt := ""
+			if opts.CheckpointDir != "" && cfg.Crypto != engine.CryptoReal {
+				ckpt = filepath.Join(opts.CheckpointDir, fmt.Sprintf("spec-%04d.ckpt", i))
+				cfg.Checkpoint = engine.CheckpointConfig{Path: ckpt, Every: opts.CheckpointEvery}
+			}
 			start := time.Now()
-			res, err := engine.Run(cfg)
+			res, err := runSpec(cfg, ckpt, opts)
 			runWall := time.Since(start)
 			err = promoteAudit(err, opts.StrictAudit, res)
+			if err == nil && jnl != nil {
+				// A run whose completion cannot be journaled is not
+				// completed: resuming would re-run it.
+				if jerr := jnl.record(i, specs[i].Label, res); jerr != nil {
+					err = fmt.Errorf("runner: journal: %w", jerr)
+				}
+			}
+			if err == nil && ckpt != "" {
+				os.Remove(ckpt) // completed runs need no restart point
+			}
+			if errors.Is(err, engine.ErrInterrupted) {
+				// Cancellation stops dispatch under any policy; the
+				// checkpoint just flushed is the spec's restart point.
+				interrupted.Store(true)
+			}
 			out[i].Result, out[i].Err = res, err
 			out[i].Wall = time.Since(start)
 			if opts.Telemetry != nil {
@@ -204,6 +289,46 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 	wg.Wait()
 
 	return out, batchError(out)
+}
+
+// runSpec executes one spec with checkpoint-aware restart and bounded
+// retry. Interruptions are returned immediately — the flushed checkpoint is
+// the restart point, not a failure to retry.
+func runSpec(cfg engine.Config, ckpt string, opts Options) (*engine.Result, error) {
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := runOnce(cfg, ckpt)
+		if err == nil || errors.Is(err, engine.ErrInterrupted) || attempt >= opts.Retries {
+			return res, err
+		}
+		if opts.Context != nil {
+			select {
+			case <-opts.Context.Done():
+				return res, err
+			case <-time.After(backoff << attempt):
+			}
+		} else {
+			time.Sleep(backoff << attempt)
+		}
+	}
+}
+
+// runOnce resumes from the spec's checkpoint when one exists, falling back
+// to a clean run when the checkpoint is corrupt, stale, or mismatched — a
+// bad restart point must never sink the spec.
+func runOnce(cfg engine.Config, ckpt string) (*engine.Result, error) {
+	if ckpt != "" {
+		if _, err := os.Stat(ckpt); err == nil {
+			res, err := engine.Resume(ckpt, cfg)
+			if err == nil || errors.Is(err, engine.ErrInterrupted) {
+				return res, err
+			}
+		}
+	}
+	return engine.Run(cfg)
 }
 
 // promoteAudit turns a failed invariant audit into the run's error when

@@ -41,6 +41,33 @@ func (s *Simulator) Now() Time { return s.now }
 // Pending returns the number of events waiting in the queue.
 func (s *Simulator) Pending() int { return s.queue.Len() }
 
+// SetNow positions an idle simulator with an empty queue at virtual time t.
+// Resuming a checkpointed run starts here: the clock jumps to the snapshot
+// instant before the reconstructed future events are scheduled, so none of
+// them can trip the no-rewind check. Any other use is an error.
+func (s *Simulator) SetNow(t Time) error {
+	if s.running {
+		return errors.New("sim: SetNow called while running")
+	}
+	if s.queue.Len() != 0 {
+		return errors.New("sim: SetNow needs an empty queue")
+	}
+	if t < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, t, s.now)
+	}
+	s.now = t
+	return nil
+}
+
+// PendingEvents calls fn once per queued event with a copy of the event, in
+// heap (arbitrary) order. Checkpointing uses it to snapshot the future event
+// set; callers must not schedule or cancel from within fn.
+func (s *Simulator) PendingEvents(fn func(Event)) {
+	for i := range s.queue.items {
+		fn(s.queue.items[i])
+	}
+}
+
 // funcAdapter dispatches closure events scheduled with Schedule/After: the
 // closure rides in Event.Data (func values are pointer-shaped, so the
 // conversion does not allocate).

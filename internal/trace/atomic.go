@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file by streaming into a temporary sibling and
+// renaming it over path once the content is complete and synced. Readers
+// never observe a torn file: they see either the old content or the new,
+// and a crash mid-write leaves the target untouched. On error the
+// temporary is removed.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if f != nil {
+			err = errors.Join(err, f.Close())
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err := write(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	closeErr := f.Close()
+	f = nil
+	if closeErr != nil {
+		return closeErr
+	}
+	return os.Rename(tmp, path)
+}

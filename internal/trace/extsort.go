@@ -138,8 +138,10 @@ func (w *ExtWriter) spill() error {
 }
 
 // Close merges the runs (and the final partial buffer) into the target
-// binary file, then removes the temporary runs. It must be called exactly
-// once; on error the target file is removed.
+// binary file, then removes the temporary runs. The merge writes to a
+// temporary file in the target's directory and renames it into place, so a
+// crash mid-merge never leaves a torn target. It must be called exactly
+// once; on error nothing is left behind — no target, no temp, no runs.
 func (w *ExtWriter) Close() (err error) {
 	if w.closed {
 		return errors.New("trace: ext writer already closed")
@@ -159,18 +161,31 @@ func (w *ExtWriter) Close() (err error) {
 		return ErrNoNodes
 	}
 
-	out, err := os.Create(w.path)
+	out, err := os.CreateTemp(filepath.Dir(w.path), ".g2gt-tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := out.Name()
 	defer func() {
-		if cerr := out.Close(); err == nil {
-			err = cerr
+		if out != nil {
+			err = errors.Join(err, out.Close())
 		}
 		if err != nil {
-			os.Remove(w.path)
+			os.Remove(tmp)
 		}
 	}()
+	// finish seals the temp file and publishes it atomically.
+	finish := func() error {
+		if err := out.Sync(); err != nil {
+			return err
+		}
+		closeErr := out.Close()
+		out = nil
+		if closeErr != nil {
+			return closeErr
+		}
+		return os.Rename(tmp, w.path)
+	}
 	bw, err := NewBinaryWriter(out, w.name, nodes)
 	if err != nil {
 		return err
@@ -186,7 +201,10 @@ func (w *ExtWriter) Close() (err error) {
 				return err
 			}
 		}
-		return bw.Close()
+		if err := bw.Close(); err != nil {
+			return err
+		}
+		return finish()
 	}
 
 	// Spill the tail so the merge has uniform inputs.
@@ -227,7 +245,10 @@ func (w *ExtWriter) Close() (err error) {
 			heap.Pop(&h)
 		}
 	}
-	return bw.Close()
+	if err := bw.Close(); err != nil {
+		return err
+	}
+	return finish()
 }
 
 // runReader streams one sorted run file back.
