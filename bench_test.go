@@ -125,11 +125,27 @@ func BenchmarkFig7DetectionTime(b *testing.B) {
 	runExperimentBench(b, "fig7", nil)
 }
 
+// reportSpanMetrics attaches the crypto-heavy spans' per-iteration self time
+// to the benchmark output as custom `<span>-ns/op` metrics. benchjson's diff
+// gates any shared metric whose unit ends in -ns/op with the same tolerance
+// as ns/op, so a regression localized to HMAC work, PoR handling, or PoM
+// validation fails bench-diff by name instead of hiding inside total wall.
+func reportSpanMetrics(b *testing.B, reg *Metrics) {
+	b.Helper()
+	for _, sp := range reg.Snapshot().Spans {
+		switch sp.Name {
+		case "crypto_hmac", "por", "pom":
+			b.ReportMetric(float64(sp.SelfNS)/float64(b.N), sp.Name+"-ns/op")
+		}
+	}
+}
+
 // BenchmarkFig7DetectionTimeTelemetry is BenchmarkFig7DetectionTime with a
 // live telemetry registry attached to every run: the span profiler's
 // enabled-path overhead benchmark. Compare its ns/op against
 // BenchmarkFig7DetectionTime in the same report — the gap is what per-phase
-// profiling costs on a real experiment (the budget is under 5%).
+// profiling costs on a real experiment (the budget is under 5%). Its span
+// metrics feed the per-phase ns gate in bench-diff.
 func BenchmarkFig7DetectionTimeTelemetry(b *testing.B) {
 	reg := NewMetrics()
 	opts := benchOpts()
@@ -140,6 +156,24 @@ func BenchmarkFig7DetectionTimeTelemetry(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(reg.Snapshot().Spans)), "phases")
+	reportSpanMetrics(b, reg)
+}
+
+// BenchmarkTable1G2GDelegationTelemetry is BenchmarkTable1G2GDelegation with
+// a private telemetry registry, existing for its span metrics: Table I is the
+// delegation-side crypto workload, so its crypto_hmac/por/pom per-phase
+// timings complete the bench-diff gate the Fig. 7 variant covers for the
+// epidemic side.
+func BenchmarkTable1G2GDelegationTelemetry(b *testing.B) {
+	reg := NewMetrics()
+	opts := benchOpts()
+	opts.Telemetry = reg
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("table1", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpanMetrics(b, reg)
 }
 
 // BenchmarkFig8Performance regenerates Fig. 8: cost/success/delay for all

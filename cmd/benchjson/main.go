@@ -37,6 +37,7 @@ func main() {
 		diff        = flag.Bool("diff", false, "diff two JSON reports given as positional args")
 		maxRegress  = flag.Float64("max-regress", 10, "with -diff: fail when allocs/op grows by more than this percent")
 		nsTolerance = flag.Float64("ns-tolerance", 0, "with -diff: fail when ns/op grows by more than this percent (0 = wall time not gated)")
+		nsFloor     = flag.Float64("ns-floor", 1e6, "with -diff: exempt benchmarks whose baseline ns/op is below this from the wall-time gate (microbenchmark noise)")
 		phases      = flag.String("phases", "", "render the per-phase span table of this telemetry snapshot and exit")
 	)
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report files")
 			os.Exit(2)
 		}
-		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *nsTolerance)
+		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *nsTolerance, *nsFloor)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)

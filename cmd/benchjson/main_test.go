@@ -90,12 +90,12 @@ func TestDiffGate(t *testing.T) {
 
 	oldPath := writeReport(t, dir, "old.json", oldRep)
 	var sb strings.Builder
-	code, err := runDiff(&sb, oldPath, writeReport(t, dir, "pass.json", pass), 10, 0)
+	code, err := runDiff(&sb, oldPath, writeReport(t, dir, "pass.json", pass), 10, 0, 0)
 	if err != nil || code != 0 {
 		t.Fatalf("pass diff: code=%d err=%v\n%s", code, err, sb.String())
 	}
 	sb.Reset()
-	code, err = runDiff(&sb, oldPath, writeReport(t, dir, "fail.json", fail), 10, 0)
+	code, err = runDiff(&sb, oldPath, writeReport(t, dir, "fail.json", fail), 10, 0, 0)
 	if err != nil || code != 1 {
 		t.Fatalf("fail diff: code=%d err=%v\n%s", code, err, sb.String())
 	}
@@ -121,7 +121,7 @@ func TestDiffNsGate(t *testing.T) {
 			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
 		}}
 		var sb strings.Builder
-		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow.json", slow), 10, 25)
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow.json", slow), 10, 25, 0)
 		if err != nil || code != 1 {
 			t.Fatalf("ns regression not gated: code=%d err=%v\n%s", code, err, sb.String())
 		}
@@ -135,7 +135,7 @@ func TestDiffNsGate(t *testing.T) {
 			{Name: "B", Pkg: "p", NsPerOp: 1100, AllocsPerOp: 100, BytesPerOp: 1}, // +10%: inside band
 		}}
 		var sb strings.Builder
-		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "fast.json", fast), 10, 25)
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "fast.json", fast), 10, 25, 0)
 		if err != nil || code != 0 {
 			t.Fatalf("improvement failed the ns gate: code=%d err=%v\n%s", code, err, sb.String())
 		}
@@ -146,9 +146,32 @@ func TestDiffNsGate(t *testing.T) {
 			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
 		}}
 		var sb strings.Builder
-		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow0.json", slow), 10, 0)
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow0.json", slow), 10, 0, 0)
 		if err != nil || code != 0 {
 			t.Fatalf("disabled ns gate still fired: code=%d err=%v\n%s", code, err, sb.String())
+		}
+	})
+	t.Run("sub-floor microbenchmarks are exempt", func(t *testing.T) {
+		// A at +800% would fail wildly, but its baseline (1000 ns) sits
+		// under the floor: one timer sample of a microbenchmark is noise.
+		// The allocs gate must keep covering it regardless.
+		slow := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 100, BytesPerOp: 1},
+			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "floor.json", slow), 10, 25, 1e6)
+		if err != nil || code != 0 {
+			t.Fatalf("sub-floor benchmark gated: code=%d err=%v\n%s", code, err, sb.String())
+		}
+		sb.Reset()
+		leaky := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 500, BytesPerOp: 1}, // +400% allocs
+			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
+		}}
+		code, err = runDiff(&sb, oldPath, writeReport(t, dir, "floorleak.json", leaky), 10, 25, 1e6)
+		if err != nil || code != 1 || !strings.Contains(sb.String(), "FAIL allocs") {
+			t.Fatalf("allocs gate lost under ns floor: code=%d err=%v\n%s", code, err, sb.String())
 		}
 	})
 	t.Run("both gates mark the row once", func(t *testing.T) {
@@ -157,12 +180,64 @@ func TestDiffNsGate(t *testing.T) {
 			{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1},
 		}}
 		var sb strings.Builder
-		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "both.json", both), 10, 25)
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "both.json", both), 10, 25, 0)
 		if err != nil || code != 1 {
 			t.Fatalf("double regression passed: code=%d err=%v\n%s", code, err, sb.String())
 		}
 		if !strings.Contains(sb.String(), "FAIL both") {
 			t.Fatalf("row not marked for both gates:\n%s", sb.String())
+		}
+	})
+}
+
+// TestDiffPhaseMetricGate pins the per-phase wall gate: shared custom
+// metrics with a -ns/op unit are held to the ns tolerance, metrics new in
+// the after-report are ignored (new phases, not regressions), and non-ns
+// custom metrics stay ungated.
+func TestDiffPhaseMetricGate(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1,
+			Metrics: map[string]float64{"crypto_hmac-ns/op": 1000, "tables": 2}},
+	}}
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+
+	t.Run("phase regression fails by name", func(t *testing.T) {
+		slow := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1,
+				Metrics: map[string]float64{"crypto_hmac-ns/op": 2000, "tables": 2}}, // +100% phase time
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow.json", slow), 10, 25, 0)
+		if err != nil || code != 1 {
+			t.Fatalf("phase regression not gated: code=%d err=%v\n%s", code, err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "A:crypto_hmac") {
+			t.Fatalf("phase row not named:\n%s", sb.String())
+		}
+	})
+	t.Run("new phase and wild non-ns metrics pass", func(t *testing.T) {
+		ok := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1,
+				Metrics: map[string]float64{"crypto_hmac-ns/op": 1100, // +10%: inside band
+					"pom-ns/op": 5000, // absent from old: ignored
+					"tables":    90}}, // non-ns metric: never gated
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "ok.json", ok), 10, 25, 0)
+		if err != nil || code != 0 {
+			t.Fatalf("in-band phase delta failed: code=%d err=%v\n%s", code, err, sb.String())
+		}
+	})
+	t.Run("zero tolerance skips phase gate", func(t *testing.T) {
+		slow := &Report{Benchmarks: []Benchmark{
+			{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1,
+				Metrics: map[string]float64{"crypto_hmac-ns/op": 9000}},
+		}}
+		var sb strings.Builder
+		code, err := runDiff(&sb, oldPath, writeReport(t, dir, "slow0.json", slow), 10, 0, 0)
+		if err != nil || code != 0 {
+			t.Fatalf("disabled phase gate fired: code=%d err=%v\n%s", code, err, sb.String())
 		}
 	})
 }
@@ -217,7 +292,7 @@ func TestDiffNoCommon(t *testing.T) {
 	dir := t.TempDir()
 	a := writeReport(t, dir, "a.json", &Report{Benchmarks: []Benchmark{{Name: "A", Pkg: "p"}}})
 	b := writeReport(t, dir, "b.json", &Report{Benchmarks: []Benchmark{{Name: "B", Pkg: "p"}}})
-	if _, err := runDiff(&strings.Builder{}, a, b, 10, 0); err == nil {
+	if _, err := runDiff(&strings.Builder{}, a, b, 10, 0, 0); err == nil {
 		t.Fatal("want error when no benchmarks overlap")
 	}
 }

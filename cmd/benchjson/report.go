@@ -138,7 +138,11 @@ func readReport(path string) (*Report, error) {
 // when nsTolerance is above zero — its ns/op grew by more than nsTolerance
 // percent. The ns/op gate is opt-in because wall time is noisy; the tolerance
 // is the accepted noise band, and improvements of any size always pass.
-func runDiff(w io.Writer, oldPath, newPath string, maxRegress, nsTolerance float64) (int, error) {
+// Benchmarks whose baseline ns/op is below nsFloor are exempt from the
+// wall-time gate entirely: with -benchtime=1x a sub-millisecond benchmark is
+// one timer sample, so its delta is scheduler noise, not signal (the allocs
+// gate, which is deterministic, still applies to them).
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress, nsTolerance, nsFloor float64) (int, error) {
 	oldRep, err := readReport(oldPath)
 	if err != nil {
 		return 0, err
@@ -176,7 +180,7 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress, nsTolerance float
 			gate = "FAIL allocs"
 			allocsFailed = true
 		}
-		if nsTolerance > 0 && o.NsPerOp > 0 && nsDelta > nsTolerance {
+		if nsTolerance > 0 && o.NsPerOp >= nsFloor && nsDelta > nsTolerance {
 			if gate == "FAIL allocs" {
 				gate = "FAIL both"
 			} else {
@@ -185,6 +189,34 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress, nsTolerance float
 			nsFailed = true
 		}
 		fmt.Fprintf(w, "%-44s %+13.1f%% %+13.1f%% %12s\n", n.Name, nsDelta, allocDelta, gate)
+		// Per-phase wall gate: custom metrics whose unit ends in -ns/op (the
+		// crypto_hmac/por/pom span timings the telemetry benches report) get
+		// the same tolerance as total ns/op, so a regression localized to one
+		// phase fails by name even when it hides inside total-wall noise.
+		// Metrics absent from the old report are new phases, not regressions.
+		if nsTolerance <= 0 {
+			continue
+		}
+		units := make([]string, 0, len(n.Metrics))
+		for unit := range n.Metrics {
+			if strings.HasSuffix(unit, "-ns/op") {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV, ok := o.Metrics[unit]
+			if !ok || oldV <= 0 || oldV < nsFloor {
+				continue
+			}
+			delta := pctDelta(oldV, n.Metrics[unit])
+			phaseGate := "ok"
+			if delta > nsTolerance {
+				phaseGate = "FAIL ns"
+				nsFailed = true
+			}
+			fmt.Fprintf(w, "%-44s %+13.1f%% %14s %12s\n", "  "+n.Name+":"+strings.TrimSuffix(unit, "-ns/op"), delta, "", phaseGate)
+		}
 	}
 	if allocsFailed {
 		fmt.Fprintf(w, "benchjson: allocs/op regression beyond %.0f%% detected\n", maxRegress)

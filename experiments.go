@@ -24,6 +24,7 @@ func runExperiment(id string, opts ExperimentOptions) (string, error) {
 		CheckpointEvery: sim.Time(opts.CheckpointEvery),
 		Resume:          opts.Resume,
 		Retries:         opts.Retries,
+		CryptoWorkers:   opts.CryptoWorkers,
 	})
 	if err != nil {
 		return "", err

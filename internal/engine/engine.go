@@ -64,6 +64,14 @@ type Config struct {
 	Seed int64
 	// Crypto selects the provider; empty means CryptoFast.
 	Crypto CryptoProvider
+	// CryptoWorkers bounds the worker pool that computes the batched
+	// PoR/PoM/HeavyHMAC obligations of one simulation instant; 0 or 1 keeps
+	// the sequential path. Obligations are rejoined in submission order
+	// before any protocol decision consumes them, so the audit digest is
+	// byte-identical at any worker count — CryptoWorkers is deliberately
+	// excluded from the checkpoint fingerprint, and a run may resume under a
+	// different count.
+	CryptoWorkers int
 
 	// WindowFrom/WindowTo delimit the experiment window.
 	WindowFrom, WindowTo sim.Time
@@ -339,12 +347,20 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 
+	// Without an attached telemetry registry the run keeps a private one so
+	// operation *counts* still accumulate (the auditor reconciles them), but
+	// wall-clock instrumentation — per-primitive timers and the span
+	// recorder — is disabled: nobody reads those durations, and the clock
+	// reads cost real time on crypto-dense runs.
 	m := cfg.Telemetry
+	var spans *obs.SpanRecorder
 	if m == nil {
 		m = obs.NewMetrics()
+		m.Crypto.DisableTiming()
+	} else {
+		spans = obs.NewSpanRecorder(&m.Spans)
 	}
 	sys = g2gcrypto.Instrument(sys, &m.Crypto)
-	spans := obs.NewSpanRecorder(&m.Spans)
 
 	// The flight recorder rides the trace-sink chain: a bounded ring of the
 	// most recent records, defaulted on for audited runs so a violation can
@@ -394,6 +410,7 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	env.SetMetrics(m)
 	env.SetSpans(spans)
+	env.SetCryptoWorkers(cfg.CryptoWorkers)
 
 	e := &engine{
 		cfg:         cfg,

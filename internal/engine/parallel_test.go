@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"errors"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// workerCounts is the determinism matrix: sequential, two odd parallel
+// shapes, and everything the machine has. Deduplicated so small CI boxes do
+// not run the same count twice.
+func workerCounts() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := make(map[int]bool, len(counts))
+	out := counts[:0]
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestParallelCryptoDigestIdentical is the tentpole's determinism proof: the
+// same seeded run must produce a byte-identical audit digest — plus identical
+// deliveries and detections — at every crypto worker count, for all six
+// protocol kinds. Deviants ride along on the G2G kinds so failed tests, PoM
+// broadcasts, and blacklist decisions all cross the batch barrier. Run under
+// -race (make race covers this package) it doubles as the data-race proof for
+// the pool fan-out.
+func TestParallelCryptoDigestIdentical(t *testing.T) {
+	cases := []struct {
+		kind      protocol.Kind
+		deviants  []trace.NodeID
+		deviation protocol.Deviation
+	}{
+		{protocol.Epidemic, nil, protocol.Honest},
+		{protocol.G2GEpidemic, []trace.NodeID{2, 7, 10}, protocol.Dropper},
+		{protocol.DelegationFrequency, nil, protocol.Honest},
+		{protocol.DelegationLastContact, nil, protocol.Honest},
+		{protocol.G2GDelegationFrequency, []trace.NodeID{2, 7, 10}, protocol.Cheater},
+		{protocol.G2GDelegationLastContact, []trace.NodeID{2, 7}, protocol.Liar},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := auditConfig(t, tc.kind)
+			cfg.Deviants = tc.deviants
+			cfg.Deviation = tc.deviation
+			cfg.CryptoWorkers = 1
+
+			ref, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts()[1:] {
+				par := cfg
+				par.CryptoWorkers = workers
+				got, err := Run(par)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got.Audit.Digest != ref.Audit.Digest {
+					t.Errorf("workers=%d: audit digest diverged:\n  sequential %s\n  parallel   %s",
+						workers, ref.Audit.Digest, got.Audit.Digest)
+				}
+				if got.Summary != ref.Summary {
+					t.Errorf("workers=%d: summary diverged:\n  sequential %+v\n  parallel   %+v",
+						workers, ref.Summary, got.Summary)
+				}
+				if got.Detection.Rate != ref.Detection.Rate ||
+					got.Detection.FalseAccusations != ref.Detection.FalseAccusations {
+					t.Errorf("workers=%d: detection diverged:\n  sequential %+v\n  parallel   %+v",
+						workers, ref.Detection, got.Detection)
+				}
+			}
+		})
+	}
+}
+
+// TestKillResumeParallelDigestIdentical extends the kill/resume oracle across
+// the worker-count boundary: a run killed while computing batches on four
+// workers, then resumed on a different count, must land on the digest of an
+// uninterrupted sequential run. CryptoWorkers is deliberately outside the
+// checkpoint fingerprint — checkpoints only exist at empty-batch barriers, so
+// the worker count is not run state.
+func TestKillResumeParallelDigestIdentical(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7, 10}
+	cfg.Deviation = protocol.Dropper
+	cfg.CryptoWorkers = 1
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kill := cfg
+	kill.CryptoWorkers = 4
+	kill.Checkpoint = CheckpointConfig{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	kill.stopAt = 14*sim.Hour + 17*sim.Minute
+	mustInterrupt(t, kill)
+
+	resumeCfg := cfg
+	resumeCfg.CryptoWorkers = 2
+	got, err := Resume(kill.Checkpoint.Path, resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, ref, got)
+}
+
+// TestParallelPeriodicCheckpoint pins the barrier invariant under periodic
+// emission: every ctrlPeriodic capture happens with zero pending crypto
+// obligations (captureCheckpoint rejects otherwise), and the resumed tail
+// still reproduces the sequential digest.
+func TestParallelPeriodicCheckpoint(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GDelegationFrequency)
+	cfg.Deviants = []trace.NodeID{2, 7}
+	cfg.Deviation = protocol.Dropper
+	cfg.CryptoWorkers = 1
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.CryptoWorkers = 4
+	par.Checkpoint = CheckpointConfig{
+		Path:  filepath.Join(t.TempDir(), "periodic.ckpt"),
+		Every: 90 * sim.Minute,
+	}
+	full, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Audit.Digest != ref.Audit.Digest {
+		t.Fatal("parallel periodic checkpointing perturbed the run digest")
+	}
+
+	got, err := Resume(par.Checkpoint.Path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, ref, got)
+}
+
+// TestParallelInterruptFlushes covers the cancellation path under parallel
+// crypto: a context cancellation must still land on a clean barrier and
+// flush a resumable checkpoint.
+func TestParallelInterruptFlushes(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kill := cfg
+	kill.CryptoWorkers = runtime.NumCPU()
+	kill.Checkpoint = CheckpointConfig{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	kill.stopAt = 15 * sim.Hour
+	if res, runErr := Run(kill); !errors.Is(runErr, ErrInterrupted) {
+		t.Fatalf("got (%v, %v), want ErrInterrupted", res, runErr)
+	}
+
+	got, err := Resume(kill.Checkpoint.Path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, ref, got)
+}

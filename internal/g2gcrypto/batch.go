@@ -1,0 +1,277 @@
+package g2gcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"give2get/internal/obs"
+)
+
+// Ticket identifies one obligation submitted to a Pool, valid from its
+// Submit* call until the next Flush-then-Submit cycle resets the batch.
+type Ticket int
+
+// cryptoJob is one distinct heavy-HMAC computation of a batch. Obligations
+// that submit identical (message, seed, iterations) content coalesce onto one
+// job, so a prover and its verifier — who by construction hash the same bytes
+// — cost the batch a single keystream walk.
+type cryptoJob struct {
+	msg        []byte
+	seedOff    int // into Pool.seedBuf
+	seedLen    int
+	iterations int
+	out        Digest
+	dur        time.Duration
+}
+
+// obligation is one submitted ticket: which job answers it, and (for verify
+// obligations) the expected digest.
+type obligation struct {
+	job    int
+	expect Digest
+	verify bool
+	// primary marks the first obligation that created the job; telemetry
+	// charges the job's wall time to it and zero to coalesced duplicates,
+	// so span totals never double-count one computation.
+	primary bool
+}
+
+// Pool batches data-independent heavy-HMAC obligations and executes them on
+// up to `workers` goroutines at Flush. The contract that keeps runs
+// deterministic at any worker count:
+//
+//   - Submit order defines obligation (and job) order; tickets are dense
+//     indices in that order.
+//   - Flush is a barrier: it returns only when every job is computed, and all
+//     telemetry is recorded post-join on the caller's goroutine, in
+//     obligation order. Workers touch only disjoint job slots.
+//   - Digest/Verdict read results by ticket, so consumers observe values in
+//     whatever order they choose — independent of execution interleaving.
+//
+// Message slices are aliased (callers must not mutate them before Flush);
+// seeds are copied into an internal arena at submit time. A Pool belongs to
+// one single-threaded run, like the Env that owns it.
+type Pool struct {
+	workers int
+	stats   *obs.CryptoStats
+	spans   *obs.SpanStats
+
+	jobs        []cryptoJob
+	obligations []obligation
+	seedBuf     []byte
+	// byKey maps the content hash of (msg, seed, iterations) to its job
+	// index for coalescing.
+	byKey   map[Digest]int
+	flushed bool
+
+	// scratch serves inline execution (workers <= 1 or single-job batches).
+	scratch HMACScratch
+}
+
+// NewPool returns a batch pool executing flushes on up to workers goroutines
+// (values below 2 mean inline sequential execution). stats and spans are the
+// optional telemetry sinks; both may be nil.
+func NewPool(workers int, stats *obs.CryptoStats, spans *obs.SpanStats) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, stats: stats, spans: spans, byKey: make(map[Digest]int)}
+}
+
+// SetWorkers adjusts the parallelism of subsequent flushes. It must not be
+// called with obligations pending.
+func (p *Pool) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.workers = n
+}
+
+// Workers returns the configured parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetTelemetry attaches (or detaches, with nils) the telemetry sinks.
+func (p *Pool) SetTelemetry(stats *obs.CryptoStats, spans *obs.SpanStats) {
+	p.stats, p.spans = stats, spans
+}
+
+// Pending returns the number of obligations awaiting Flush. It is zero right
+// after a flush, which is the engine's checkpoint-barrier invariant.
+func (p *Pool) Pending() int {
+	if p.flushed {
+		return 0
+	}
+	return len(p.obligations)
+}
+
+// SubmitCompute registers a heavy-HMAC computation and returns its ticket.
+// The digest becomes available after Flush via Digest.
+func (p *Pool) SubmitCompute(msg, seed []byte, iterations int) Ticket {
+	return p.submit(msg, seed, iterations, Digest{}, false)
+}
+
+// SubmitVerify registers a verification obligation: after Flush, Verdict
+// reports whether the recomputed proof equals expect (constant-time compare,
+// like VerifyHeavyHMAC).
+func (p *Pool) SubmitVerify(msg, seed []byte, iterations int, expect Digest) Ticket {
+	return p.submit(msg, seed, iterations, expect, true)
+}
+
+func (p *Pool) submit(msg, seed []byte, iterations int, expect Digest, verify bool) Ticket {
+	if p.flushed {
+		p.reset()
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	key := p.contentKey(msg, seed, iterations)
+	j, ok := p.byKey[key]
+	primary := !ok
+	if !ok {
+		off := len(p.seedBuf)
+		p.seedBuf = append(p.seedBuf, seed...)
+		j = len(p.jobs)
+		p.jobs = append(p.jobs, cryptoJob{
+			msg: msg, seedOff: off, seedLen: len(seed), iterations: iterations,
+		})
+		p.byKey[key] = j
+	}
+	p.obligations = append(p.obligations, obligation{
+		job: j, expect: expect, verify: verify, primary: primary,
+	})
+	return Ticket(len(p.obligations) - 1)
+}
+
+// contentKey hashes the job content so identical submissions coalesce.
+func (p *Pool) contentKey(msg, seed []byte, iterations int) Digest {
+	h := sha256.New()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(msg)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(seed)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(iterations))
+	h.Write(hdr[:])
+	h.Write(msg)
+	h.Write(seed)
+	var key Digest
+	h.Sum(key[:0])
+	return key
+}
+
+// Flush computes every pending job — in parallel when the pool has more than
+// one worker and more than one distinct job — and records all telemetry
+// post-join on the caller's goroutine. After Flush, every submitted ticket's
+// Digest/Verdict is available; the next Submit starts a fresh batch.
+func (p *Pool) Flush() {
+	if p.flushed {
+		return
+	}
+	if len(p.jobs) > 0 {
+		nw := p.workers
+		if nw > len(p.jobs) {
+			nw = len(p.jobs)
+		}
+		timed := p.stats.Timed()
+		if nw <= 1 {
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
+			for i := range p.jobs {
+				p.runJob(&p.jobs[i], &p.scratch, timed)
+			}
+			if timed {
+				p.stats.NotePoolWorker(time.Since(start))
+			} else {
+				p.stats.NotePoolWorker(0)
+			}
+		} else {
+			// Workers are spawned per flush: goroutine startup is ~2µs
+			// against jobs that cost hundreds, and per-flush lifetimes mean
+			// the pool needs no Close. Each worker pulls the next job off a
+			// shared cursor and writes only its own job slot, so the flush is
+			// race-free by construction.
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var scratch HMACScratch
+					var start time.Time
+					if timed {
+						start = time.Now()
+					}
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(p.jobs) {
+							break
+						}
+						p.runJob(&p.jobs[i], &scratch, timed)
+					}
+					if timed {
+						p.stats.NotePoolWorker(time.Since(start))
+					} else {
+						p.stats.NotePoolWorker(0)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		p.stats.NotePoolFlush(nw, int64(len(p.jobs)))
+	}
+	// Telemetry lands here, after the join, in obligation order: one
+	// heavy-HMAC note per obligation (iterations always counted, so usage
+	// and telemetry stay reconciled), with the job's wall time charged to
+	// the primary obligation only.
+	for i := range p.obligations {
+		ob := &p.obligations[i]
+		j := &p.jobs[ob.job]
+		var d time.Duration
+		if ob.primary {
+			d = j.dur
+		}
+		p.stats.NoteHeavyHMAC(d, j.iterations)
+		p.spans.Note(obs.SpanCrypto, d, d)
+	}
+	p.flushed = true
+}
+
+func (p *Pool) runJob(j *cryptoJob, scratch *HMACScratch, timed bool) {
+	if !timed {
+		j.out = scratch.HeavyHMAC(j.msg, p.seedBuf[j.seedOff:j.seedOff+j.seedLen], j.iterations)
+		j.dur = 0
+		return
+	}
+	start := time.Now()
+	j.out = scratch.HeavyHMAC(j.msg, p.seedBuf[j.seedOff:j.seedOff+j.seedLen], j.iterations)
+	j.dur = time.Since(start)
+}
+
+// Digest returns the computed proof of a flushed ticket.
+func (p *Pool) Digest(t Ticket) Digest {
+	return p.jobs[p.obligations[t].job].out
+}
+
+// Verdict reports whether a flushed verify ticket's recomputed proof matches
+// the expectation it was submitted with.
+func (p *Pool) Verdict(t Ticket) bool {
+	ob := &p.obligations[t]
+	out := p.jobs[ob.job].out
+	return ob.verify && hmac.Equal(out[:], ob.expect[:])
+}
+
+// reset clears the batch for reuse, keeping the backing arrays.
+func (p *Pool) reset() {
+	for i := range p.jobs {
+		p.jobs[i].msg = nil
+	}
+	p.jobs = p.jobs[:0]
+	p.obligations = p.obligations[:0]
+	p.seedBuf = p.seedBuf[:0]
+	clear(p.byKey)
+	p.flushed = false
+}

@@ -22,6 +22,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"hash"
 
 	"give2get/internal/trace"
 )
@@ -90,11 +91,21 @@ type CertifiedSystem interface {
 // and for session encryption.
 type SessionKey [32]byte
 
-// HeavyHMAC is the storage-proof challenge of the test phase (Fig. 2): a
-// keyed MAC over the full message, iterated to make it expensive by design.
-// The paper requires the cost to exceed the energy saved by not relaying;
-// iterations is the knob (ablated in the benches).
-func HeavyHMAC(message, seed []byte, iterations int) Digest {
+// HMACScratch holds the reusable hash states and pad buffers of the
+// hand-rolled heavy-HMAC loop. A zero value is ready to use; the first call
+// allocates the two SHA-256 states, later calls reuse them, so steady-state
+// storage proofs perform no setup allocations. A scratch belongs to one
+// goroutine (batch workers each carry their own, see batch.go).
+type HMACScratch struct {
+	inner, outer hash.Hash
+	ipad, opad   [sha256.BlockSize]byte
+	sum          [sha256.Size]byte
+	round        [8]byte
+}
+
+// HeavyHMAC computes the storage proof into the scratch's states,
+// bit-identical to the package-level HeavyHMAC.
+func (s *HMACScratch) HeavyHMAC(message, seed []byte, iterations int) Digest {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -103,33 +114,44 @@ func HeavyHMAC(message, seed []byte, iterations int) Digest {
 	// is the single hottest allocation site in a test phase, and the keyed
 	// states here are rebuilt from the previous round's sum, which the
 	// stock package can only express by reallocating.
-	inner, outer := sha256.New(), sha256.New()
-	var ipad, opad [sha256.BlockSize]byte
-	var sum [sha256.Size]byte
-	hmacKeyPads(seed, &ipad, &opad)
-	inner.Write(ipad[:])
+	if s.inner == nil {
+		s.inner, s.outer = sha256.New(), sha256.New()
+	}
+	inner, outer := s.inner, s.outer
+	hmacKeyPads(seed, &s.ipad, &s.opad)
+	inner.Reset()
+	inner.Write(s.ipad[:])
 	inner.Write(message)
-	inner.Sum(sum[:0])
-	outer.Write(opad[:])
-	outer.Write(sum[:])
-	outer.Sum(sum[:0])
-	var round [8]byte
+	inner.Sum(s.sum[:0])
+	outer.Reset()
+	outer.Write(s.opad[:])
+	outer.Write(s.sum[:])
+	outer.Sum(s.sum[:0])
 	for i := 1; i < iterations; i++ {
-		binary.LittleEndian.PutUint64(round[:], uint64(i))
-		hmacKeyPads(sum[:], &ipad, &opad)
+		binary.LittleEndian.PutUint64(s.round[:], uint64(i))
+		hmacKeyPads(s.sum[:], &s.ipad, &s.opad)
 		inner.Reset()
-		inner.Write(ipad[:])
-		inner.Write(round[:])
+		inner.Write(s.ipad[:])
+		inner.Write(s.round[:])
 		inner.Write(message)
-		inner.Sum(sum[:0])
+		inner.Sum(s.sum[:0])
 		outer.Reset()
-		outer.Write(opad[:])
-		outer.Write(sum[:])
-		outer.Sum(sum[:0])
+		outer.Write(s.opad[:])
+		outer.Write(s.sum[:])
+		outer.Sum(s.sum[:0])
 	}
 	var out Digest
-	copy(out[:], sum[:])
+	copy(out[:], s.sum[:])
 	return out
+}
+
+// HeavyHMAC is the storage-proof challenge of the test phase (Fig. 2): a
+// keyed MAC over the full message, iterated to make it expensive by design.
+// The paper requires the cost to exceed the energy saved by not relaying;
+// iterations is the knob (ablated in the benches).
+func HeavyHMAC(message, seed []byte, iterations int) Digest {
+	var s HMACScratch
+	return s.HeavyHMAC(message, seed, iterations)
 }
 
 // hmacKeyPads derives the HMAC inner/outer pad blocks from a key, exactly as

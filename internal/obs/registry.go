@@ -465,8 +465,39 @@ type CryptoStats struct {
 	// computed or verified.
 	HeavyHMACIterations Counter
 
+	// Batch-pool accounting (g2gcrypto.Pool): flushes, distinct jobs, and
+	// the per-worker busy time of parallel storage-proof execution. Worker
+	// turns count one activation per worker per flush, so BusyNS/Turns is
+	// the mean time a worker spent draining its share of a batch.
+	poolFlushes     Counter
+	poolJobs        Counter
+	poolWorkerTurns Counter
+	poolBusyNS      Counter
+	poolMaxWorkers  MaxGauge
+
 	provider atomic.Pointer[string]
+
+	// noTiming suppresses the per-operation clock reads: counts still
+	// accumulate (the invariant auditor reconciles them) but wall durations
+	// are recorded as zero. Engines disable timing when no telemetry
+	// consumer is attached — two time.Now calls per primitive are pure
+	// overhead on a run nobody profiles. Written once before the run starts,
+	// read-only afterwards, so concurrent readers need no atomics.
+	noTiming bool
 }
+
+// DisableTiming turns off wall-time measurement for subsequent operations;
+// counts are unaffected. Must be called before the stats see concurrent use.
+func (c *CryptoStats) DisableTiming() {
+	if c == nil {
+		return
+	}
+	c.noTiming = true
+}
+
+// Timed reports whether operation wall times should be measured. The nil
+// stats sink is untimed.
+func (c *CryptoStats) Timed() bool { return c != nil && !c.noTiming }
 
 // SetProvider records which provider ("fast" or "real") the stats describe.
 func (c *CryptoStats) SetProvider(name string) {
@@ -529,6 +560,38 @@ func (c *CryptoStats) NoteHeavyHMAC(d time.Duration, iterations int) {
 	c.HeavyHMACIterations.Add(int64(iterations))
 }
 
+// NotePoolFlush records one batch-pool flush that ran jobs distinct
+// computations on workers goroutines.
+func (c *CryptoStats) NotePoolFlush(workers int, jobs int64) {
+	if c == nil {
+		return
+	}
+	c.poolFlushes.Inc()
+	c.poolJobs.Add(jobs)
+	c.poolMaxWorkers.Observe(int64(workers))
+}
+
+// NotePoolWorker records one worker's share of a flush: the wall time it was
+// busy draining jobs. Accumulation is atomic, so workers may report
+// concurrently as each finishes.
+func (c *CryptoStats) NotePoolWorker(busy time.Duration) {
+	if c == nil {
+		return
+	}
+	c.poolWorkerTurns.Inc()
+	c.poolBusyNS.Add(int64(busy))
+}
+
+// PoolSnapshot is the frozen batch-pool accounting, present when any flush
+// ran.
+type PoolSnapshot struct {
+	Flushes     int64 `json:"flushes"`
+	Jobs        int64 `json:"jobs"`
+	WorkerTurns int64 `json:"worker_turns"`
+	BusyNS      int64 `json:"busy_ns"`
+	MaxWorkers  int64 `json:"max_workers"`
+}
+
 // CryptoSnapshot is the frozen form of CryptoStats.
 type CryptoSnapshot struct {
 	Provider            string     `json:"provider"`
@@ -538,10 +601,13 @@ type CryptoSnapshot struct {
 	Open                OpSnapshot `json:"open"`
 	HeavyHMAC           OpSnapshot `json:"heavy_hmac"`
 	HeavyHMACIterations int64      `json:"heavy_hmac_iterations"`
+	// Pool summarizes parallel storage-proof execution; nil when the run
+	// never flushed a batch.
+	Pool *PoolSnapshot `json:"pool,omitempty"`
 }
 
 func (c *CryptoStats) snapshot() CryptoSnapshot {
-	return CryptoSnapshot{
+	s := CryptoSnapshot{
 		Provider:            c.Provider(),
 		Sign:                c.Sign.Snapshot(),
 		Verify:              c.Verify.Snapshot(),
@@ -550,6 +616,16 @@ func (c *CryptoStats) snapshot() CryptoSnapshot {
 		HeavyHMAC:           c.HeavyHMAC.Snapshot(),
 		HeavyHMACIterations: c.HeavyHMACIterations.Load(),
 	}
+	if n := c.poolFlushes.Load(); n > 0 {
+		s.Pool = &PoolSnapshot{
+			Flushes:     n,
+			Jobs:        c.poolJobs.Load(),
+			WorkerTurns: c.poolWorkerTurns.Load(),
+			BusyNS:      c.poolBusyNS.Load(),
+			MaxWorkers:  c.poolMaxWorkers.Load(),
+		}
+	}
+	return s
 }
 
 // --- snapshot root ---

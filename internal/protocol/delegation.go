@@ -24,7 +24,11 @@ type delegationNode struct {
 	quality   *qualityTable
 	seen      map[g2gcrypto.Digest]struct{}
 	buffer    map[g2gcrypto.Digest]*delegationCustody
-	seq       uint32
+	// bufferOrder mirrors the buffer keys in sorted order (see
+	// orderedInsert); the relay phase iterates it instead of re-sorting per
+	// contact.
+	bufferOrder []g2gcrypto.Digest
+	seq         uint32
 }
 
 type delegationCustody struct {
@@ -63,6 +67,7 @@ func (n *delegationNode) Generate(now sim.Time, dest trace.NodeID, body []byte) 
 		msg: m, genAt: now,
 		fm: n.quality.qualityAt(dest, now, n.frequency),
 	}
+	orderedInsert(&n.bufferOrder, h)
 	n.env.Observer.Generated(h, id, n.ID(), dest, now)
 	return nil
 }
@@ -96,7 +101,10 @@ func (n *delegationNode) RunSession(now sim.Time, peer Node) (bool, error) {
 	n.env.spans.Enter(obs.SpanRelay)
 	defer n.env.spans.Exit()
 	transferred := false
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
+	// Snapshot the maintained order; receive() mutates only the peer's maps,
+	// the copy guards the iteration against future edits.
+	n.digestScratch = append(n.digestScratch[:0], n.bufferOrder...)
+	for _, h := range n.digestScratch {
 		c := n.buffer[h]
 		if _, dup := other.seen[h]; dup {
 			continue
@@ -139,14 +147,19 @@ func (n *delegationNode) receive(now sim.Time, from trace.NodeID, c *delegationC
 		return
 	}
 	n.buffer[h] = c
+	orderedInsert(&n.bufferOrder, h)
 }
 
 func (n *delegationNode) expire(now sim.Time) {
-	for h, c := range n.buffer {
-		if now >= c.genAt.Add(n.env.Params.Delta1) {
+	kept := n.bufferOrder[:0]
+	for _, h := range n.bufferOrder {
+		if now >= n.buffer[h].genAt.Add(n.env.Params.Delta1) {
 			delete(n.buffer, h)
+			continue
 		}
+		kept = append(kept, h)
 	}
+	n.bufferOrder = kept
 }
 
 // MemoryBytes implements MemoryMeter.
@@ -156,8 +169,6 @@ func (n *delegationNode) MemoryBytes() int64 {
 		total += int64(messageFootprint(c.msg))
 	}
 	total += int64(len(n.seen)) * hashFootprint
-	for _, times := range n.quality.meetings {
-		total += int64(len(times)) * 8
-	}
+	total += n.quality.historyBytes()
 	return total
 }

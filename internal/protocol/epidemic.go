@@ -19,7 +19,11 @@ type epidemicNode struct {
 	base
 	seen   map[g2gcrypto.Digest]struct{}
 	buffer map[g2gcrypto.Digest]*epidemicCustody
-	seq    uint32
+	// bufferOrder mirrors the buffer keys in sorted order (see
+	// orderedInsert); the relay phase iterates it instead of re-sorting per
+	// contact.
+	bufferOrder []g2gcrypto.Digest
+	seq         uint32
 }
 
 type epidemicCustody struct {
@@ -50,6 +54,7 @@ func (n *epidemicNode) Generate(now sim.Time, dest trace.NodeID, body []byte) er
 	h := m.Hash()
 	n.seen[h] = struct{}{}
 	n.buffer[h] = &epidemicCustody{msg: m, genAt: now}
+	orderedInsert(&n.bufferOrder, h)
 	n.env.Observer.Generated(h, message.MakeID(n.ID(), n.seq), n.ID(), dest, now)
 	return nil
 }
@@ -72,7 +77,10 @@ func (n *epidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
 	n.env.spans.Enter(obs.SpanRelay)
 	defer n.env.spans.Exit()
 	transferred := false
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.buffer) {
+	// Snapshot the maintained order; receive() mutates only the peer's maps,
+	// the copy guards the iteration against future edits.
+	n.digestScratch = append(n.digestScratch[:0], n.bufferOrder...)
+	for _, h := range n.digestScratch {
 		c := n.buffer[h]
 		if _, dup := other.seen[h]; dup {
 			continue
@@ -101,15 +109,20 @@ func (n *epidemicNode) receive(now sim.Time, from trace.NodeID, c *epidemicCusto
 		return
 	}
 	n.buffer[h] = &epidemicCustody{msg: c.msg, genAt: c.genAt}
+	orderedInsert(&n.bufferOrder, h)
 }
 
 // expire enforces the TTL (Δ1): expired messages leave the buffer.
 func (n *epidemicNode) expire(now sim.Time) {
-	for h, c := range n.buffer {
-		if now >= c.genAt.Add(n.env.Params.Delta1) {
+	kept := n.bufferOrder[:0]
+	for _, h := range n.bufferOrder {
+		if now >= n.buffer[h].genAt.Add(n.env.Params.Delta1) {
 			delete(n.buffer, h)
+			continue
 		}
+		kept = append(kept, h)
 	}
+	n.bufferOrder = kept
 }
 
 // bufferLen is exposed for tests and memory accounting.

@@ -25,6 +25,11 @@ type g2gDelegationNode struct {
 	custody   map[g2gcrypto.Digest]*g2gDelCustody
 	tests     map[g2gcrypto.Digest][]*delPendingTest
 	pendingIn map[g2gcrypto.Digest]*delPendingTransfer
+	// custodyOrder/testsOrder mirror the custody/tests keys in sorted order
+	// (see orderedInsert); the relay and test phases iterate them instead of
+	// re-sorting per contact.
+	custodyOrder []g2gcrypto.Digest
+	testsOrder   []g2gcrypto.Digest
 	// claims remembers the FQ_RESP this node issued per message hash so the
 	// PoR it signs moments later is consistent with its claim.
 	claims map[g2gcrypto.Digest]wire.FQResponse
@@ -116,6 +121,7 @@ func (n *g2gDelegationNode) Generate(now sim.Time, dest trace.NodeID, body []byt
 		isSource:  true,
 		relayedTo: make(map[trace.NodeID]struct{}),
 	}
+	orderedInsert(&n.custodyOrder, h)
 	n.env.Observer.Generated(h, id, n.ID(), dest, now)
 	return nil
 }
@@ -146,7 +152,11 @@ func (n *g2gDelegationNode) relayPhase(now sim.Time, other *g2gDelegationNode) b
 	n.env.spans.Enter(obs.SpanRelay)
 	defer n.env.spans.Exit()
 	transferred := false
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
+	// Snapshot the maintained order: relayOne may append to n.tests (and the
+	// peer mutates its own maps), but this node's custody keys are stable for
+	// the duration — the copy just guards the iteration against future edits.
+	n.digestScratch = append(n.digestScratch[:0], n.custodyOrder...)
+	for _, h := range n.digestScratch {
 		c := n.custody[h]
 		if !n.eligibleToRelay(now, c, other.ID()) {
 			continue
@@ -253,6 +263,7 @@ func (n *g2gDelegationNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gDel
 		n.tests[h] = append(n.tests[h], &delPendingTest{
 			relay: other.ID(), por: *por, labelGiven: fqResp.FQ,
 		})
+		orderedInsert(&n.testsOrder, h)
 	}
 	if !c.isSource && len(c.pors) >= 2 && c.relayCount >= n.env.Params.MaxRelays {
 		c.raw = nil
@@ -375,6 +386,7 @@ func (n *g2gDelegationNode) handleKeyReveal(now sim.Time, reveal wire.Signed, fr
 		c.raw = nil
 	}
 	n.custody[body.Hash] = c
+	orderedInsert(&n.custodyOrder, body.Hash)
 }
 
 // auditAttachments is the test-by-destination phase: the destination checks
@@ -408,10 +420,28 @@ func (n *g2gDelegationNode) auditAttachments(now sim.Time, h g2gcrypto.Digest, g
 
 // --- test by the sender (Section VI-B) ---
 
+// delBatchedTest is one collected challenge of a batched test phase; see the
+// pass structure documented on storedPrep (testphase.go).
+type delBatchedTest struct {
+	h      g2gcrypto.Digest
+	c      *g2gDelCustody
+	pt     *delPendingTest
+	seed   [16]byte
+	resp   *wire.Signed
+	prep   *storedPrep
+	src    g2gcrypto.Ticket
+	hasSrc bool
+}
+
 func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
 	n.env.spans.Enter(obs.SpanTest)
 	defer n.env.spans.Exit()
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
+
+	// Pass A — collect, in the sequential path's exact order. All RNG draws
+	// happen here.
+	var batch []delBatchedTest
+	n.digestScratch = append(n.digestScratch[:0], n.testsOrder...)
+	for _, h := range n.digestScratch {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
 		if !ok {
@@ -429,26 +459,63 @@ func (n *g2gDelegationNode) testPhase(now sim.Time, other *g2gDelegationNode) {
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
-			// The PoR span covers both sides of the proof: the challenged
-			// relay producing it and the source verifying it.
+			// The PoR span covers the relay preparing its proof here and the
+			// source's verdict in pass C; the heavy-HMAC work in between is
+			// attributed to the crypto span by the pool.
 			n.env.spans.Enter(obs.SpanPoR)
-			resp := other.handlePORChallenge(now, challenge)
-			passed, reason, evidence := n.evaluateTestResponse(c, pt, seed, resp)
-			n.env.spans.Exit()
-			n.noteTested(passed)
-			n.env.Observer.Tested(other.ID(), passed, now)
-			if !passed {
-				n.reportMisbehavior(now, other.ID(), reason, evidence, h,
-					c.genAt.Add(n.env.Params.Delta1))
+			resp, prep := other.preparePORChallenge(now, challenge)
+			bt := delBatchedTest{h: h, c: c, pt: pt, seed: seed, resp: resp, prep: prep}
+			if prep != nil && c.raw != nil {
+				// The source recomputes the same proof over its own copy; the
+				// pool coalesces it with the relay's obligation.
+				bt.src = n.submitHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations)
+				bt.hasSrc = true
 			}
+			n.env.spans.Exit()
+			batch = append(batch, bt)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+
+	// Pass B — barrier: all storage proofs compute before any verdict (and
+	// before the relay phase consults blacklists).
+	n.env.pool.Flush()
+
+	// Pass C — decide in collection order.
+	for i := range batch {
+		bt := &batch[i]
+		n.env.spans.Enter(obs.SpanPoR)
+		resp := bt.resp
+		if bt.prep != nil {
+			r := other.finishStoredResponse(now, bt.prep)
+			resp = &r
+		}
+		var pre *bool
+		if bt.hasSrc && resp != nil {
+			if body, ok := resp.Body.(wire.StoredResponse); ok {
+				v := n.env.pool.Digest(bt.src) == body.MAC
+				pre = &v
+			}
+		}
+		passed, reason, evidence := n.evaluateTestResponse(bt.c, bt.pt, bt.seed, resp, pre)
+		n.env.spans.Exit()
+		n.noteTested(passed)
+		n.env.Observer.Tested(other.ID(), passed, now)
+		if !passed {
+			n.reportMisbehavior(now, other.ID(), reason, evidence, bt.h,
+				bt.c.genAt.Add(n.env.Params.Delta1))
 		}
 	}
 }
 
 // evaluateTestResponse checks a test answer. On failure it returns the
-// reason and the evidence documents for the PoM broadcast.
+// reason and the evidence documents for the PoM broadcast. pre, when non-nil,
+// is the storage-proof verdict the batch pool already computed (nil falls
+// back to inline verification; see the epidemic counterpart).
 func (n *g2gDelegationNode) evaluateTestResponse(c *g2gDelCustody, pt *delPendingTest,
-	seed [16]byte, resp *wire.Signed) (bool, wire.MisbehaviorReason, []wire.Signed) {
+	seed [16]byte, resp *wire.Signed, pre *bool) (bool, wire.MisbehaviorReason, []wire.Signed) {
 
 	dropEvidence := []wire.Signed{pt.por}
 	if resp == nil || resp.Signer != pt.relay || !n.verified(*resp) {
@@ -485,6 +552,12 @@ func (n *g2gDelegationNode) evaluateTestResponse(c *g2gDelCustody, pt *delPendin
 		if body.Hash != c.hash || body.Seed != seed || c.raw == nil {
 			return false, wire.ReasonDropped, dropEvidence
 		}
+		if pre != nil {
+			if !*pre {
+				return false, wire.ReasonDropped, dropEvidence
+			}
+			return true, 0, nil
+		}
 		if !n.verifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC) {
 			return false, wire.ReasonDropped, dropEvidence
 		}
@@ -494,35 +567,61 @@ func (n *g2gDelegationNode) evaluateTestResponse(c *g2gDelCustody, pt *delPendin
 	}
 }
 
-func (n *g2gDelegationNode) handlePORChallenge(now sim.Time, challenge wire.Signed) *wire.Signed {
+// preparePORChallenge is the challenged node's side of pass A: answer with
+// two PoRs immediately, or submit the storage proof to the batch pool and
+// return the prep to finish after the flush.
+func (n *g2gDelegationNode) preparePORChallenge(now sim.Time, challenge wire.Signed) (*wire.Signed, *storedPrep) {
 	body, ok := challenge.Body.(wire.PORChallenge)
 	if !ok || !n.verified(challenge) {
-		return nil
+		return nil, nil
 	}
 	c, ok := n.custody[body.Hash]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	if len(c.pors) >= 2 {
 		resp := n.signed(now, wire.PORResponse{First: c.pors[0], Second: c.pors[1]})
-		return &resp
+		return &resp, nil
 	}
 	if c.raw != nil {
-		mac := n.heavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
-		resp := n.signed(now, wire.StoredResponse{Hash: body.Hash, Seed: body.Seed, MAC: mac})
-		return &resp
+		return nil, &storedPrep{
+			hash: body.Hash, seed: body.Seed,
+			ticket: n.submitHeavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations),
+		}
 	}
-	return nil
+	return nil, nil
+}
+
+// handlePORChallenge is the unbatched form of preparePORChallenge; it must
+// only be called outside a batched test phase (no obligations pending).
+func (n *g2gDelegationNode) handlePORChallenge(now sim.Time, challenge wire.Signed) *wire.Signed {
+	resp, prep := n.preparePORChallenge(now, challenge)
+	if prep == nil {
+		return resp
+	}
+	n.env.pool.Flush()
+	r := n.finishStoredResponse(now, prep)
+	return &r
 }
 
 func (n *g2gDelegationNode) expire(now sim.Time) {
-	for h, c := range n.custody {
+	// Walk the maintained order, compacting survivors in place: the keepers
+	// stay sorted and each deletion is O(1) against the slice.
+	kept := n.custodyOrder[:0]
+	for _, h := range n.custodyOrder {
+		c := n.custody[h]
 		if now >= c.genAt.Add(n.env.Params.Delta2) {
 			delete(n.custody, h)
-			delete(n.tests, h)
 			delete(n.seen, h)
+			if _, ok := n.tests[h]; ok {
+				delete(n.tests, h)
+				orderedRemove(&n.testsOrder, h)
+			}
+			continue
 		}
+		kept = append(kept, h)
 	}
+	n.custodyOrder = kept
 }
 
 // MemoryBytes implements MemoryMeter: payloads, proofs of relay, embedded
@@ -537,8 +636,6 @@ func (n *g2gDelegationNode) MemoryBytes() int64 {
 	for _, p := range n.pendingIn {
 		total += int64(len(p.encrypted))
 	}
-	for _, times := range n.quality.meetings {
-		total += int64(len(times)) * 8
-	}
+	total += n.quality.historyBytes()
 	return total
 }

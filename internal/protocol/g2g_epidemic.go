@@ -24,7 +24,12 @@ type g2gEpidemicNode struct {
 	tests map[g2gcrypto.Digest][]*pendingTest
 	// pendingIn holds relay-phase handoffs between the RELAY and KEY steps.
 	pendingIn map[g2gcrypto.Digest]*pendingTransfer
-	seq       uint32
+	// custodyOrder/testsOrder mirror the custody/tests keys in sorted order
+	// (see orderedInsert); the relay and test phases iterate them instead of
+	// re-sorting per contact.
+	custodyOrder []g2gcrypto.Digest
+	testsOrder   []g2gcrypto.Digest
+	seq          uint32
 }
 
 // g2gCustody is this node's state for one message it has handled.
@@ -92,6 +97,7 @@ func (n *g2gEpidemicNode) Generate(now sim.Time, dest trace.NodeID, body []byte)
 		isSource:  true,
 		relayedTo: make(map[trace.NodeID]struct{}),
 	}
+	orderedInsert(&n.custodyOrder, h)
 	n.env.Observer.Generated(h, id, n.ID(), dest, now)
 	return nil
 }
@@ -116,10 +122,28 @@ func (n *g2gEpidemicNode) RunSession(now sim.Time, peer Node) (bool, error) {
 
 // --- test phase (Fig. 2) ---
 
+// epiBatchedTest is one collected challenge of a batched test phase; see the
+// pass structure documented on storedPrep (testphase.go).
+type epiBatchedTest struct {
+	h      g2gcrypto.Digest
+	c      *g2gCustody
+	pt     *pendingTest
+	seed   [16]byte
+	resp   *wire.Signed
+	prep   *storedPrep
+	src    g2gcrypto.Ticket
+	hasSrc bool
+}
+
 func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
 	n.env.spans.Enter(obs.SpanTest)
 	defer n.env.spans.Exit()
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.tests) {
+
+	// Pass A — collect, in the sequential path's exact order (sorted message
+	// digests, then pending-test order). All RNG draws happen here.
+	var batch []epiBatchedTest
+	n.digestScratch = append(n.digestScratch[:0], n.testsOrder...)
+	for _, h := range n.digestScratch {
 		pending := n.tests[h]
 		c, ok := n.custody[h]
 		if !ok {
@@ -138,27 +162,68 @@ func (n *g2gEpidemicNode) testPhase(now sim.Time, other *g2gEpidemicNode) {
 			var seed [16]byte
 			n.env.RNG.Bytes(seed[:])
 			challenge := n.signed(now, wire.PORChallenge{Hash: h, Seed: seed})
-			// The PoR span covers both sides of the proof: the challenged
-			// relay producing it and the source verifying it.
+			// The PoR span covers the relay preparing its proof here and the
+			// source's verdict in pass C; the heavy-HMAC work in between is
+			// attributed to the crypto span by the pool.
 			n.env.spans.Enter(obs.SpanPoR)
-			resp := other.handlePORChallenge(now, challenge)
-			passed := n.evaluateTestResponse(c, other.ID(), seed, resp)
-			n.env.spans.Exit()
-			n.noteTested(passed)
-			n.env.Observer.Tested(other.ID(), passed, now)
-			if !passed {
-				n.reportMisbehavior(now, other.ID(), wire.ReasonDropped,
-					[]wire.Signed{pt.por}, h, c.genAt.Add(n.env.Params.Delta1))
+			resp, prep := other.preparePORChallenge(now, challenge)
+			bt := epiBatchedTest{h: h, c: c, pt: pt, seed: seed, resp: resp, prep: prep}
+			if prep != nil && c.raw != nil {
+				// The source recomputes the same proof over its own copy; the
+				// pool coalesces it with the relay's obligation (the copies
+				// are byte-identical), so an honest pair costs one keystream
+				// walk.
+				bt.src = n.submitHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations)
+				bt.hasSrc = true
 			}
+			n.env.spans.Exit()
+			batch = append(batch, bt)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+
+	// Pass B — barrier: every storage proof of this session computes before
+	// any verdict is read (and before the relay phase consults blacklists).
+	n.env.pool.Flush()
+
+	// Pass C — decide in collection order, reproducing the sequential
+	// observer and broadcast order.
+	for i := range batch {
+		bt := &batch[i]
+		n.env.spans.Enter(obs.SpanPoR)
+		resp := bt.resp
+		if bt.prep != nil {
+			r := other.finishStoredResponse(now, bt.prep)
+			resp = &r
+		}
+		var pre *bool
+		if bt.hasSrc && resp != nil {
+			if body, ok := resp.Body.(wire.StoredResponse); ok {
+				v := n.env.pool.Digest(bt.src) == body.MAC
+				pre = &v
+			}
+		}
+		passed := n.evaluateTestResponse(bt.c, other.ID(), bt.seed, resp, pre)
+		n.env.spans.Exit()
+		n.noteTested(passed)
+		n.env.Observer.Tested(other.ID(), passed, now)
+		if !passed {
+			n.reportMisbehavior(now, other.ID(), wire.ReasonDropped,
+				[]wire.Signed{bt.pt.por}, bt.h, bt.c.genAt.Add(n.env.Params.Delta1))
 		}
 	}
 }
 
 // evaluateTestResponse checks a challenge answer: either two verifiable
 // proofs of relay for this message, or the heavy HMAC over the full message
-// under the challenge seed.
+// under the challenge seed. pre, when non-nil, is the storage-proof verdict
+// the batch pool already computed for this test (digest equality over the
+// same bytes the sequential path would hash); nil falls back to the inline
+// verification, which is what direct callers outside a batched phase use.
 func (n *g2gEpidemicNode) evaluateTestResponse(c *g2gCustody, relay trace.NodeID,
-	seed [16]byte, resp *wire.Signed) bool {
+	seed [16]byte, resp *wire.Signed, pre *bool) bool {
 
 	if resp == nil || resp.Signer != relay || !n.verified(*resp) {
 		return false
@@ -169,6 +234,9 @@ func (n *g2gEpidemicNode) evaluateTestResponse(c *g2gCustody, relay trace.NodeID
 	case wire.StoredResponse:
 		if body.Hash != c.hash || body.Seed != seed || c.raw == nil {
 			return false
+		}
+		if pre != nil {
+			return *pre
 		}
 		return n.verifyHeavyHMAC(c.raw, seed[:], n.env.Params.HeavyHMACIterations, body.MAC)
 	default:
@@ -202,28 +270,44 @@ func (n *g2gEpidemicNode) validPORPair(c *g2gCustody, relay trace.NodeID, resp w
 	return true
 }
 
-// handlePORChallenge is the challenged node's side: produce two PoRs, or the
-// storage proof, or fail.
-func (n *g2gEpidemicNode) handlePORChallenge(now sim.Time, challenge wire.Signed) *wire.Signed {
+// preparePORChallenge is the challenged node's side of pass A: answer with
+// two PoRs immediately, or submit the storage proof to the batch pool and
+// return the prep to finish after the flush. A (nil, nil) return means the
+// node cannot comply (dropped the message and holds no proofs).
+func (n *g2gEpidemicNode) preparePORChallenge(now sim.Time, challenge wire.Signed) (*wire.Signed, *storedPrep) {
 	body, ok := challenge.Body.(wire.PORChallenge)
 	if !ok || !n.verified(challenge) {
-		return nil
+		return nil, nil
 	}
 	c, ok := n.custody[body.Hash]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	if len(c.pors) >= 2 {
 		resp := n.signed(now, wire.PORResponse{First: c.pors[0], Second: c.pors[1]})
-		return &resp
+		return &resp, nil
 	}
 	if c.raw != nil {
-		mac := n.heavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations)
-		resp := n.signed(now, wire.StoredResponse{Hash: body.Hash, Seed: body.Seed, MAC: mac})
-		return &resp
+		return nil, &storedPrep{
+			hash: body.Hash, seed: body.Seed,
+			ticket: n.submitHeavyHMAC(c.raw, body.Seed[:], n.env.Params.HeavyHMACIterations),
+		}
 	}
 	// Dropped the message and has no proofs: cannot comply.
-	return nil
+	return nil, nil
+}
+
+// handlePORChallenge is the unbatched form of preparePORChallenge: produce
+// two PoRs, or the storage proof (flushing the pool inline), or fail. It must
+// only be called outside a batched test phase (no obligations pending).
+func (n *g2gEpidemicNode) handlePORChallenge(now sim.Time, challenge wire.Signed) *wire.Signed {
+	resp, prep := n.preparePORChallenge(now, challenge)
+	if prep == nil {
+		return resp
+	}
+	n.env.pool.Flush()
+	r := n.finishStoredResponse(now, prep)
+	return &r
 }
 
 // --- relay phase (Fig. 1) ---
@@ -232,7 +316,11 @@ func (n *g2gEpidemicNode) relayPhase(now sim.Time, other *g2gEpidemicNode) bool 
 	n.env.spans.Enter(obs.SpanRelay)
 	defer n.env.spans.Exit()
 	transferred := false
-	for _, h := range sortedDigestsInto(&n.digestScratch, n.custody) {
+	// Snapshot the maintained order: relayOne may append to n.tests (and the
+	// peer mutates its own maps), but this node's custody keys are stable for
+	// the duration — the copy just guards the iteration against future edits.
+	n.digestScratch = append(n.digestScratch[:0], n.custodyOrder...)
+	for _, h := range n.digestScratch {
 		c := n.custody[h]
 		if !n.eligibleToRelay(now, c, other.ID()) {
 			continue
@@ -313,6 +401,7 @@ func (n *g2gEpidemicNode) relayOne(now sim.Time, h g2gcrypto.Digest, c *g2gCusto
 	}
 	if c.isSource && other.ID() != c.msg.Dest {
 		n.tests[h] = append(n.tests[h], &pendingTest{relay: other.ID(), por: *por})
+		orderedInsert(&n.testsOrder, h)
 	}
 	// A relay that has found its two onward relays may discard the payload
 	// (the PoRs are its defence); the source keeps it to verify storage
@@ -398,17 +487,28 @@ func (n *g2gEpidemicNode) handleKeyReveal(now sim.Time, reveal wire.Signed, from
 		c.raw = nil
 	}
 	n.custody[body.Hash] = c
+	orderedInsert(&n.custodyOrder, body.Hash)
 }
 
 // expire drops all state for messages past Δ2.
 func (n *g2gEpidemicNode) expire(now sim.Time) {
-	for h, c := range n.custody {
+	// Walk the maintained order, compacting survivors in place: the keepers
+	// stay sorted and each deletion is O(1) against the slice.
+	kept := n.custodyOrder[:0]
+	for _, h := range n.custodyOrder {
+		c := n.custody[h]
 		if now >= c.genAt.Add(n.env.Params.Delta2) {
 			delete(n.custody, h)
-			delete(n.tests, h)
 			delete(n.seen, h)
+			if _, ok := n.tests[h]; ok {
+				delete(n.tests, h)
+				orderedRemove(&n.testsOrder, h)
+			}
+			continue
 		}
+		kept = append(kept, h)
 	}
+	n.custodyOrder = kept
 }
 
 // MemoryBytes implements MemoryMeter: stored payloads, collected proofs of

@@ -29,3 +29,33 @@ func sortedDigestsInto[T any](buf *[]g2gcrypto.Digest, m map[g2gcrypto.Digest]T)
 	*buf = keys
 	return keys
 }
+
+// The session-hot buffer maps (custody, pending tests, epidemic buffers) keep
+// a companion key slice in the same byte-wise order sortedDigestsInto would
+// produce, maintained incrementally at the handful of insert/delete sites
+// instead of re-sorted on every contact. The slice is derived state: it is
+// never serialized, and checkpoint restore rebuilds it from the map with
+// sortedDigestsInto, so the two representations cannot drift across a resume.
+
+// orderedInsert adds h to the sorted key slice, keeping it sorted. Inserting
+// a digest that is already present is a no-op, matching map-key semantics.
+func orderedInsert(keys *[]g2gcrypto.Digest, h g2gcrypto.Digest) {
+	i, found := slices.BinarySearchFunc(*keys, h, func(a, b g2gcrypto.Digest) int {
+		return bytes.Compare(a[:], b[:])
+	})
+	if found {
+		return
+	}
+	*keys = slices.Insert(*keys, i, h)
+}
+
+// orderedRemove deletes h from the sorted key slice if present.
+func orderedRemove(keys *[]g2gcrypto.Digest, h g2gcrypto.Digest) {
+	i, found := slices.BinarySearchFunc(*keys, h, func(a, b g2gcrypto.Digest) int {
+		return bytes.Compare(a[:], b[:])
+	})
+	if !found {
+		return
+	}
+	*keys = slices.Delete(*keys, i, i+1)
+}

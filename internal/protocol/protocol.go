@@ -287,16 +287,43 @@ type Env struct {
 	// exactly one single-threaded run, so one scratch is enough for every
 	// node's sign/verify traffic.
 	wireScratch wire.Scratch
+
+	// pool batches the run's heavy-HMAC obligations (storage-proof compute
+	// and verify) so test phases can fan them out to worker goroutines and
+	// rejoin before any decision consumes a digest. Always non-nil: NewEnv
+	// creates a sequential (one-worker) pool, SetCryptoWorkers raises the
+	// parallelism.
+	pool *g2gcrypto.Pool
+
+	// pomCache memoizes validatePoM verdicts by signature bytes. A proof of
+	// misbehavior is broadcast to the whole population, and its validity is
+	// a pure function of the document, so verifying the envelope and
+	// evidence once per broadcast instead of once per receiver removes an
+	// O(population) factor of signature checks. The cache is transient
+	// (never checkpointed): a resumed run just re-verifies.
+	pomCache map[string]pomVerdict
 }
+
+// pomVerdict is one memoized proof-of-misbehavior validation.
+type pomVerdict struct {
+	accused trace.NodeID
+	ok      bool
+}
+
+// pomCacheLimit bounds the memo; PoMs live only as long as their broadcast
+// instant, so the cache is cleared wholesale when it grows past this.
+const pomCacheLimit = 1024
 
 // SetMetrics attaches the run's telemetry registry to the environment and
 // teaches it the wire-kind names for snapshots. A nil registry detaches.
 func (e *Env) SetMetrics(m *obs.Metrics) {
 	if m == nil {
 		e.stats, e.crypto = nil, nil
+		e.pool.SetTelemetry(nil, nil)
 		return
 	}
 	e.stats, e.crypto = &m.Protocol, &m.Crypto
+	e.pool.SetTelemetry(&m.Crypto, &m.Spans)
 	m.Protocol.SetKindNamer(func(k uint8) string { return wire.Kind(k).String() })
 }
 
@@ -304,6 +331,44 @@ func (e *Env) SetMetrics(m *obs.Metrics) {
 // profiling of the protocol steps (relay/test/decide, PoR/PoM, heavy HMAC).
 // A nil recorder detaches.
 func (e *Env) SetSpans(r *obs.SpanRecorder) { e.spans = r }
+
+// SetCryptoWorkers sets the parallelism of the heavy-HMAC batch pool. Values
+// below 2 keep execution sequential; any value produces byte-identical runs
+// (the determinism contract of g2gcrypto.Pool). It must be called between
+// batches (the engine sets it once at construction).
+func (e *Env) SetCryptoWorkers(n int) { e.pool.SetWorkers(n) }
+
+// CryptoWorkers returns the batch pool's configured parallelism.
+func (e *Env) CryptoWorkers() int { return e.pool.Workers() }
+
+// PendingCryptoObligations returns the number of unflushed batch
+// obligations. Protocol phases flush before returning, so it is zero at
+// every inter-event boundary — the invariant the engine asserts before
+// capturing a checkpoint.
+func (e *Env) PendingCryptoObligations() int { return e.pool.Pending() }
+
+// validatePoM verifies a broadcast proof of misbehavior — envelope signature,
+// body type, evidence signed by the accused — memoizing the verdict per
+// document so a broadcast to N nodes costs one verification. The verdict is a
+// pure function of the signed document, so memoization cannot perturb
+// determinism. The signature bytes key the cache (string conversion of the
+// lookup key is allocation-free).
+func (e *Env) validatePoM(pom wire.Signed) (trace.NodeID, bool) {
+	if v, ok := e.pomCache[string(pom.Sig)]; ok {
+		return v.accused, v.ok
+	}
+	var v pomVerdict
+	if pom.Verify(e.Sys) {
+		if body, ok := pom.Body.(wire.Misbehavior); ok && body.ValidEvidence(e.Sys) {
+			v = pomVerdict{accused: body.Accused, ok: true}
+		}
+	}
+	if e.pomCache == nil || len(e.pomCache) >= pomCacheLimit {
+		e.pomCache = make(map[string]pomVerdict, 64)
+	}
+	e.pomCache[string(pom.Sig)] = v
+	return v.accused, v.ok
+}
 
 // NewEnv validates and assembles an environment.
 func NewEnv(sys g2gcrypto.System, params Params, observer Observer, rng *sim.RNG) (*Env, error) {
@@ -319,7 +384,10 @@ func NewEnv(sys g2gcrypto.System, params Params, observer Observer, rng *sim.RNG
 	if rng == nil {
 		rng = sim.NewRNG(1)
 	}
-	return &Env{Sys: sys, Params: params, Observer: observer, RNG: rng}, nil
+	return &Env{
+		Sys: sys, Params: params, Observer: observer, RNG: rng,
+		pool: g2gcrypto.NewPool(1, nil, nil),
+	}, nil
 }
 
 // Node is the engine-facing surface of a protocol instance.
@@ -415,6 +483,17 @@ func (b *base) verifyHeavyHMAC(msg, seed []byte, iterations int, response g2gcry
 	return ok
 }
 
+// submitHeavyHMAC registers a storage-proof computation with the run's batch
+// pool, charging this node's usage immediately (iterations are owed whether
+// the batch coalesces the work or not — the sequential path charges the same
+// way). The digest is read back after the pool flushes. Wall-time telemetry
+// is recorded by the pool post-join, so batched and sequential runs reconcile
+// identically against the invariant auditor.
+func (b *base) submitHeavyHMAC(msg, seed []byte, iterations int) g2gcrypto.Ticket {
+	b.noteHMAC(iterations)
+	return b.env.pool.SubmitCompute(msg, seed, iterations)
+}
+
 // noteTestStarted, noteTested, and noteQualityUpdate forward to the run
 // telemetry (nil-safe).
 func (b *base) noteTestStarted()       { b.env.stats.NoteTestStarted() }
@@ -451,21 +530,17 @@ func (b *base) deviates(peer trace.NodeID) bool {
 
 // acceptPoM validates a broadcast proof of misbehavior and blacklists the
 // accused. Invalid proofs (bad envelope or evidence not signed by the
-// accused) are ignored, so nobody can frame a faithful node.
+// accused) are ignored, so nobody can frame a faithful node. Validation is
+// memoized per document on the Env: every receiver of a broadcast reaches the
+// same verdict, so only the first pays the signature checks.
 func (b *base) acceptPoM(pom wire.Signed) {
 	b.env.spans.Enter(obs.SpanPoM)
 	defer b.env.spans.Exit()
-	if !pom.Verify(b.env.Sys) {
+	accused, ok := b.env.validatePoM(pom)
+	if !ok || accused == b.self.Node() {
 		return
 	}
-	body, ok := pom.Body.(wire.Misbehavior)
-	if !ok || !body.ValidEvidence(b.env.Sys) {
-		return
-	}
-	if body.Accused == b.self.Node() {
-		return
-	}
-	b.blacklist[body.Accused] = struct{}{}
+	b.blacklist[accused] = struct{}{}
 }
 
 // reportMisbehavior assembles, validates, and broadcasts a PoM, and notifies

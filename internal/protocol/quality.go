@@ -20,6 +20,10 @@ import (
 type qualityTable struct {
 	frameLen sim.Time
 	meetings map[trace.NodeID][]sim.Time // ascending by construction
+	// records counts the meeting entries across all peers. History only ever
+	// grows (observe appends, nothing trims), so a running total lets the
+	// memory sampler price the table without walking the map.
+	records int64
 }
 
 func newQualityTable(frameLen sim.Time) *qualityTable {
@@ -29,7 +33,12 @@ func newQualityTable(frameLen sim.Time) *qualityTable {
 // observe records a physical encounter with peer at the given instant.
 func (q *qualityTable) observe(now sim.Time, peer trace.NodeID) {
 	q.meetings[peer] = append(q.meetings[peer], now)
+	q.records++
 }
+
+// historyBytes prices the meeting history for memory accounting: one 8-byte
+// timestamp per record.
+func (q *qualityTable) historyBytes() int64 { return q.records * 8 }
 
 // lastCompletedFrame returns the most recent timeframe that has fully
 // elapsed at `now`, or -1 if none has.

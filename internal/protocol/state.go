@@ -253,8 +253,10 @@ func (q *qualityTable) capture() []MeetingLog {
 
 func (q *qualityTable) restore(logs []MeetingLog) {
 	q.meetings = make(map[trace.NodeID][]sim.Time, len(logs))
+	q.records = 0
 	for _, l := range logs {
 		q.meetings[l.Peer] = append([]sim.Time(nil), l.Times...)
+		q.records += int64(len(l.Times))
 	}
 }
 
@@ -286,6 +288,7 @@ func (n *epidemicNode) RestoreState(st NodeState) error {
 		}
 		n.buffer[m.Hash()] = &epidemicCustody{msg: m, genAt: e.GenAt}
 	}
+	n.bufferOrder = sortedDigestsInto(&n.bufferOrder, n.buffer)
 	return nil
 }
 
@@ -318,6 +321,7 @@ func (n *delegationNode) RestoreState(st NodeState) error {
 		}
 		n.buffer[m.Hash()] = &delegationCustody{msg: m, genAt: e.GenAt, fm: e.FM}
 	}
+	n.bufferOrder = sortedDigestsInto(&n.bufferOrder, n.buffer)
 	return nil
 }
 
@@ -473,6 +477,8 @@ func (n *g2gEpidemicNode) RestoreState(st NodeState) error {
 			encrypted: append([]byte(nil), p.Encrypted...),
 		}
 	}
+	n.custodyOrder = sortedDigestsInto(&n.custodyOrder, n.custody)
+	n.testsOrder = sortedDigestsInto(&n.testsOrder, n.tests)
 	return nil
 }
 
@@ -569,6 +575,8 @@ func (n *g2gDelegationNode) RestoreState(st NodeState) error {
 	for _, c := range s.Claims {
 		n.claims[c.Hash] = c.Resp
 	}
+	n.custodyOrder = sortedDigestsInto(&n.custodyOrder, n.custody)
+	n.testsOrder = sortedDigestsInto(&n.testsOrder, n.tests)
 	n.audited = make(map[auditKey]struct{}, len(s.Audited))
 	for _, a := range s.Audited {
 		n.audited[auditKey{responder: a.Responder, frame: a.Frame}] = struct{}{}
