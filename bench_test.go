@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +21,9 @@ import (
 	"give2get/internal/experiments"
 	"give2get/internal/g2gcrypto"
 	"give2get/internal/metrics"
+	"give2get/internal/mobility"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
 )
 
 // benchOpts is the reduced workload every benchmark uses.
@@ -175,6 +179,112 @@ func BenchmarkTable1G2GDelegationTelemetry(b *testing.B) {
 	}
 	reportSpanMetrics(b, reg)
 }
+
+// BenchmarkFig7Sharded is BenchmarkFig7DetectionTime with every run's
+// warm-up sharded across all CPUs: the intra-run parallelism counterpart of
+// the -jobs sweep benchmarks. Output (and digest) is identical to the
+// sequential bench; the wall-time gap against BenchmarkFig7DetectionTime is
+// what sharding buys on a paper-scale experiment.
+func BenchmarkFig7Sharded(b *testing.B) {
+	opts := benchOpts()
+	opts.Shards = runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("fig7", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opts.Shards), "shards")
+}
+
+// The large-trace benchmarks run one 100,000-node out-of-core simulation —
+// the workload class sharding exists for: a long warm-up streamed from a
+// sorted binary .g2gt, a short window, community structure the shard planner
+// can exploit. The trace is generated once per benchmark process.
+var (
+	largeTraceOnce sync.Once
+	largeTracePath string
+	largeTraceErr  error
+)
+
+// largeTraceFile streams a community-structured 100k-node trace (5000
+// communities of 20, sparse cross-community bridges, 14 virtual hours)
+// through the external merge sort into a temporary .g2gt, exactly like
+// `tracegen -large`.
+func largeTraceFile(b *testing.B) string {
+	b.Helper()
+	largeTraceOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "g2g-bench-large")
+		if err != nil {
+			largeTraceErr = err
+			return
+		}
+		path := filepath.Join(dir, "large.g2gt")
+		cfg := mobility.LargeConfig{
+			Name:          "bench-large",
+			Communities:   5000,
+			CommunitySize: 20,
+			AcrossDegree:  1,
+			Duration:      14 * sim.Hour,
+			Within:        mobility.PairParams{ShortGap: 45 * sim.Minute, LongGap: 6 * sim.Hour, BurstProb: 0.5},
+			Across:        mobility.PairParams{ShortGap: 60 * sim.Minute, LongGap: 10 * sim.Hour, BurstProb: 0.3},
+			ContactMean:   90 * sim.Second,
+		}
+		w := trace.NewExtWriter(path, cfg.Name, cfg.Nodes(), trace.ExtOptions{})
+		if err := mobility.GenerateLarge(cfg, 42, w.Add); err != nil {
+			largeTraceErr = err
+			return
+		}
+		if err := w.Close(); err != nil {
+			largeTraceErr = err
+			return
+		}
+		largeTracePath = path
+	})
+	if largeTraceErr != nil {
+		b.Fatal(largeTraceErr)
+	}
+	return largeTracePath
+}
+
+// benchLargeTrace runs the 100k-node simulation at one shard count. The
+// window sits at hour 13 of 14, so the run is warm-up-dominated — the phase
+// sharding parallelizes. Results are byte-identical at every shard count
+// (TestShardedDigestIdentical); only the wall time may differ.
+func benchLargeTrace(b *testing.B, shards int) {
+	tr, err := OpenTrace(largeTraceFile(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SimulationConfig{
+		Trace:           tr,
+		Protocol:        G2GEpidemic,
+		TTL:             30 * time.Minute,
+		Seed:            1,
+		WindowStart:     13 * time.Hour,
+		MessageInterval: 5 * time.Minute,
+		Shards:          shards,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(res.SuccessRate, "delivery%")
+		}
+	}
+}
+
+// BenchmarkLargeTraceSharded1 is the sequential baseline of the 100k-node
+// run; BenchmarkLargeTraceSharded the same run with one warm-up shard per
+// CPU. On a multi-core machine the sharded variant should be well over 1.5x
+// faster; on one core they are the same workload, which doubles as a
+// coordinator-overhead check.
+func BenchmarkLargeTraceSharded1(b *testing.B) { benchLargeTrace(b, 1) }
+
+func BenchmarkLargeTraceSharded(b *testing.B) { benchLargeTrace(b, runtime.NumCPU()) }
 
 // BenchmarkFig8Performance regenerates Fig. 8: cost/success/delay for all
 // six protocols.

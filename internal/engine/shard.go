@@ -1,0 +1,511 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"give2get/internal/kclique"
+	"give2get/internal/obs"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// Sharded execution parallelizes the warm-up phase of one run across
+// CPU cores while keeping the audit digest byte-identical to the sequential
+// engine at every shard count.
+//
+// The key structural fact is that every source of protocol randomness and
+// every digest-visible event lives at or after WindowFrom: warm-up contacts
+// only feed per-node quality tables (ObserveMeeting is node-local state plus
+// one atomic counter) and maintain the neighbor sets — no sessions, no RNG
+// draws, no observer events. The warm-up is therefore an embarrassingly
+// parallel prefix as long as each node's meetings are replayed in trace
+// order, which sharding by node guarantees: every contact of node x is
+// processed by x's shard, in (At, Pri) order, on that shard's private kernel.
+//
+// Each shard owns a sim.Simulator and an independent trace cursor carrying
+// GLOBAL contact indices (the same index a sequential cursor would assign),
+// so every event keeps the sequential (At, Pri) coordinates. A shard's pull
+// loop skips contacts owned entirely by other shards; a contact between two
+// shards is processed by both, each side updating only its own endpoint.
+// The coordinator advances all shards in lockstep to conservative barriers
+// (periodic-checkpoint instants, a scheduled stop, cancellation-poll slices,
+// and finally WindowFrom-1); with all events <= t processed on every shard,
+// the union of shard states at a barrier equals the sequential engine state
+// at t, which is what makes barrier checkpoints interchangeable with
+// sequential ones and the window handoff exact. From WindowFrom on, the run
+// is the unmodified sequential engine.
+type shardRunner struct {
+	id  int
+	eng *engine
+	sim *sim.Simulator
+	// spans is this shard's private recorder (recorders are single-threaded);
+	// it folds into the run's shared SpanStats.
+	spans *obs.SpanRecorder
+
+	cursor    trace.Cursor
+	cursorIdx int
+	cursorErr error
+
+	// pending is the owned contact whose start event is queued; at most one,
+	// exactly like the sequential chained scheduler.
+	pending    trace.Contact
+	pendingIdx int
+	pendingAt  sim.Time
+	hasPending bool
+
+	// parked marks that the pull loop reached the first contact whose clamped
+	// start lands at or after WindowFrom — the window handoff point. Every
+	// skip/close/park test before the ownership check is owner-independent,
+	// so all shards park at the identical (contact, index), which is what
+	// lets mergeShards adopt any one runner's cursor as THE cursor.
+	parked        bool
+	parkedContact trace.Contact
+	parkedIdx     int
+	parkedAt      sim.Time
+
+	// active is this shard's view of the contact refcounts for pairs touching
+	// its nodes; for a cross-shard pair both shards keep equal counts.
+	active map[trace.PairKey]int
+
+	err error
+}
+
+// shardCount resolves Config.Shards against the run: values below 2 (and the
+// test-only legacy scheduler) stay sequential, counts above the population
+// clamp to it, and a run with no warm-up before the window has nothing to
+// parallelize.
+func (e *engine) shardCount() int {
+	n := e.cfg.Shards
+	if n <= 1 || e.cfg.legacyScheduling {
+		return 1
+	}
+	if pop := e.cfg.Trace.Nodes(); n > pop {
+		n = pop
+	}
+	if e.cfg.WindowFrom-1 <= e.startAt {
+		return 1
+	}
+	return n
+}
+
+// ownerShard is the unique shard charged with pair-level bookkeeping for a
+// contact (NoteContact, checkpointed end events): the smaller endpoint's
+// shard, mirroring trace.MakePairKey's normalization.
+func (e *engine) ownerShard(a, b trace.NodeID) int {
+	if b < a {
+		a = b
+	}
+	return e.plan[a]
+}
+
+func (r *shardRunner) owns(n trace.NodeID) bool { return r.eng.plan[n] == r.id }
+
+// prepareShards builds the shard runners (kernels, refcounts, telemetry);
+// cursors are attached separately by seedShards (fresh run) or
+// restoreShardContacts (resume).
+func (e *engine) prepareShards(n int) {
+	var spanStats *obs.SpanStats
+	if e.spans != nil {
+		spanStats = &e.metrics.Spans
+	}
+	e.runners = make([]*shardRunner, n)
+	for i := range e.runners {
+		r := &shardRunner{
+			id:     i,
+			eng:    e,
+			sim:    sim.New(),
+			spans:  obs.NewSpanRecorder(spanStats),
+			active: make(map[trace.PairKey]int),
+		}
+		r.sim.SetStats(&e.metrics.Sim)
+		e.runners[i] = r
+	}
+}
+
+// seedShards opens one cursor per shard and pulls each to its first owned
+// contact (or its park/close point).
+func (e *engine) seedShards() error {
+	for _, r := range e.runners {
+		cur, err := e.cfg.Trace.Cursor()
+		if err != nil {
+			return err
+		}
+		r.cursor = cur
+		if err := r.scheduleNext(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeShards releases every runner cursor still open, folding close errors
+// into the run's cursor error. Idempotent; mergeShards calls it after
+// adopting one cursor, and run()'s defer covers the error paths.
+func (e *engine) closeShards() {
+	for _, r := range e.runners {
+		r.closeCursor()
+		if r.cursorErr != nil && e.cursorErr == nil {
+			e.cursorErr = r.cursorErr
+		}
+	}
+}
+
+func (r *shardRunner) closeCursor() {
+	if r.cursor == nil {
+		return
+	}
+	if err := r.cursor.Close(); err != nil && r.cursorErr == nil {
+		r.cursorErr = err
+	}
+	r.cursor = nil
+}
+
+// scheduleNext is the shard's pull loop: the sequential
+// scheduleNextContactStart with two extra owner-independent rules — park at
+// the first contact whose clamped start reaches the window, and skip contacts
+// that touch none of this shard's nodes. Because close, zero-clamp skip, and
+// park all test owner-independent properties, every shard makes identical
+// close/park decisions at identical global indices.
+func (r *shardRunner) scheduleNext() error {
+	if r.cursor == nil {
+		return nil
+	}
+	e := r.eng
+	r.hasPending = false
+	for {
+		c, ok := r.cursor.Next()
+		if !ok {
+			err := r.cursor.Err()
+			r.closeCursor()
+			return err
+		}
+		i := r.cursorIdx
+		r.cursorIdx++
+		if c.Start >= e.endAt {
+			r.closeCursor()
+			return nil // sorted by Start: nothing later can overlap
+		}
+		start, end := e.clampContact(c)
+		if start >= end {
+			continue
+		}
+		if start >= e.cfg.WindowFrom {
+			r.parked = true
+			r.parkedContact = c
+			r.parkedIdx = i
+			r.parkedAt = start
+			return nil
+		}
+		if !r.owns(c.A) && !r.owns(c.B) {
+			continue
+		}
+		r.pending, r.pendingIdx, r.pendingAt, r.hasPending = c, i, start, true
+		return r.sim.ScheduleEvent(sim.Event{
+			At:  start,
+			Pri: 2 * int64(i),
+			H:   r,
+			Op:  opContactStart,
+			P:   uint64(i),
+		})
+	}
+}
+
+// HandleEvent dispatches a shard's contact events: the warm-up subset of the
+// engine's HandleEvent, with per-endpoint bookkeeping instead of sessions.
+func (r *shardRunner) HandleEvent(s *sim.Simulator, ev sim.Event) {
+	switch ev.Op {
+	case opContactStart:
+		c := r.pending // copy before the pull loop advances over it
+		_, end := r.eng.clampContact(c)
+		if err := s.ScheduleEvent(sim.Event{
+			At:  end,
+			Pri: 2*int64(ev.P) + 1,
+			H:   r,
+			Op:  opContactEnd,
+			A:   int32(c.A),
+			B:   int32(c.B),
+		}); err != nil {
+			panic(fmt.Sprintf("engine: shard contact end: %v", err))
+		}
+		if err := r.scheduleNext(); err != nil && r.cursorErr == nil {
+			r.cursorErr = err
+		}
+		r.contactStart(s.Now(), c.A, c.B)
+	case opContactEnd:
+		r.contactEnd(trace.NodeID(ev.A), trace.NodeID(ev.B))
+	}
+}
+
+// contactStart is the warm-up contact bookkeeping restricted to this shard's
+// endpoints. ObserveMeeting touches only node-local state plus an atomic
+// counter, and the shared neighbors slice is written only at indices this
+// shard owns, so concurrent shards never race. The owner shard alone counts
+// the contact, keeping ContactsObserved equal to the sequential run's.
+func (r *shardRunner) contactStart(now sim.Time, a, b trace.NodeID) {
+	e := r.eng
+	if e.ownerShard(a, b) == r.id {
+		e.metrics.Engine.NoteContact()
+	}
+	if r.owns(a) {
+		e.nodes[a].ObserveMeeting(now, b)
+	}
+	if r.owns(b) {
+		e.nodes[b].ObserveMeeting(now, a)
+	}
+	key := trace.MakePairKey(a, b)
+	r.active[key]++
+	if r.active[key] == 1 {
+		if r.owns(a) {
+			e.neighbors[a] = insertNeighbor(e.neighbors[a], b)
+		}
+		if r.owns(b) {
+			e.neighbors[b] = insertNeighbor(e.neighbors[b], a)
+		}
+	}
+}
+
+func (r *shardRunner) contactEnd(a, b trace.NodeID) {
+	e := r.eng
+	key := trace.MakePairKey(a, b)
+	if r.active[key] == 0 {
+		return
+	}
+	r.active[key]--
+	if r.active[key] == 0 {
+		delete(r.active, key)
+		if r.owns(a) {
+			e.neighbors[a] = removeNeighbor(e.neighbors[a], b)
+		}
+		if r.owns(b) {
+			e.neighbors[b] = removeNeighbor(e.neighbors[b], a)
+		}
+	}
+}
+
+// advance runs this shard's kernel up to and including instant t.
+func (r *shardRunner) advance(t sim.Time) {
+	r.spans.Enter(obs.SpanShardWarmup)
+	_, err := r.sim.RunUntil(t)
+	r.spans.Exit()
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// advanceShards drives every shard to barrier t in parallel and rejoins.
+// The WaitGroup gives the coordinator a happens-before edge over all shard
+// writes, so post-barrier reads (checkpoint capture, merge) need no locks.
+func (e *engine) advanceShards(t sim.Time) error {
+	var wg sync.WaitGroup
+	for _, r := range e.runners {
+		wg.Add(1)
+		go func(r *shardRunner) {
+			defer wg.Done()
+			r.advance(t)
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range e.runners {
+		if r.err != nil {
+			return r.err
+		}
+		if r.cursorErr != nil {
+			return fmt.Errorf("engine: contact stream: %w", r.cursorErr)
+		}
+	}
+	return nil
+}
+
+// cancelPollSlice bounds how much virtual time passes between cancellation
+// checks while the shards run; 30 simulated minutes of warm-up is a few
+// milliseconds of wall time on any realistic trace.
+const cancelPollSlice = 30 * sim.Minute
+
+// runShardedWarmup advances the shards from `from` to the window handoff
+// barrier WindowFrom-1, pausing at every conservative barrier in between:
+// periodic-checkpoint instants (a barrier state is exactly a sequential
+// checkpoint state), the test-only scheduled stop, and cancellation-poll
+// slices when a Context is attached. Interruptions mirror the sequential
+// control path: flush a checkpoint when configured, then ErrInterrupted.
+func (e *engine) runShardedWarmup(s *sim.Simulator, from sim.Time) error {
+	if ctx := e.cfg.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w before start: %v", ErrInterrupted, err)
+		}
+		watchStop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				e.cancelled.Store(true)
+			case <-watchStop:
+			}
+		}()
+		defer func() {
+			close(watchStop)
+			<-watchDone
+		}()
+	}
+
+	limit := e.cfg.WindowFrom - 1
+	every := e.cfg.Checkpoint.Every
+	now := from
+	for now < limit {
+		next := limit
+		if every > 0 {
+			if c := e.nextControlAt(now); c < next {
+				next = c
+			}
+		}
+		if st := e.cfg.stopAt; st > now && st < next {
+			next = st
+		}
+		if e.cfg.Context != nil {
+			if sl := now.Add(cancelPollSlice); sl < next {
+				next = sl
+			}
+		}
+		if err := e.advanceShards(next); err != nil {
+			return err
+		}
+		now = next
+
+		stop := e.cancelled.Load() || now == e.cfg.stopAt
+		ctrl := every > 0 && now > e.startAt && (now-e.startAt)%every == 0
+		if (stop || ctrl) && e.cfg.Checkpoint.Path != "" {
+			if err := e.writeCheckpoint(s, now); err != nil {
+				return fmt.Errorf("engine: checkpoint write failed: %w", err)
+			}
+		}
+		if stop {
+			return fmt.Errorf("%w at %v", ErrInterrupted, now)
+		}
+	}
+	return nil
+}
+
+// mergeShards reconstructs the exact sequential engine state at the
+// WindowFrom-1 barrier onto the main kernel: verify every shard reached the
+// identical handoff decision, adopt one runner's cursor (and the parked
+// contact as the pending start), and transfer each active contact's end event
+// exactly once (owner-filtered) while rebuilding the pair refcounts. The
+// neighbor lists need no merging — each shard maintained its own nodes'
+// entries in the shared slice all along.
+func (e *engine) mergeShards(s *sim.Simulator) error {
+	r0 := e.runners[0]
+	for _, r := range e.runners {
+		if r.hasPending {
+			return errors.New("engine: shard start event survived the handoff barrier")
+		}
+		if r.parked != r0.parked {
+			return errors.New("engine: shards disagree at the window handoff")
+		}
+		if r.parked && (r.parkedIdx != r0.parkedIdx || r.parkedContact != r0.parkedContact) {
+			return errors.New("engine: shards parked at different contacts")
+		}
+		if !r.parked && r.cursorIdx != r0.cursorIdx {
+			return errors.New("engine: shards closed at different cursor positions")
+		}
+	}
+
+	if r0.parked {
+		e.cursor, r0.cursor = r0.cursor, nil
+		e.cursorIdx = r0.parkedIdx + 1
+		e.pending = r0.parkedContact
+		if err := s.ScheduleEvent(sim.Event{
+			At:  r0.parkedAt,
+			Pri: 2 * int64(r0.parkedIdx),
+			H:   e,
+			Op:  opContactStart,
+			P:   uint64(r0.parkedIdx),
+		}); err != nil {
+			return err
+		}
+	} else {
+		e.cursorIdx = r0.cursorIdx
+	}
+
+	var terr error
+	for _, r := range e.runners {
+		r.sim.PendingEvents(func(ev sim.Event) {
+			if terr != nil || ev.Op != opContactEnd {
+				return
+			}
+			a, b := trace.NodeID(ev.A), trace.NodeID(ev.B)
+			if e.ownerShard(a, b) != r.id {
+				return // the other endpoint's shard transfers it
+			}
+			if err := s.ScheduleEvent(sim.Event{
+				At:  ev.At,
+				Pri: ev.Pri,
+				H:   e,
+				Op:  opContactEnd,
+				A:   ev.A,
+				B:   ev.B,
+			}); err != nil {
+				terr = err
+				return
+			}
+			e.active[trace.MakePairKey(a, b)]++
+		})
+	}
+	e.closeShards()
+	e.runners = nil
+	return terr
+}
+
+// buildShardPlan computes the node → shard assignment once the run is known
+// to shard: the Communities override when provided, the outsider-restricted
+// deviation's detected communities when those exist, or pure node-id hashing.
+// Community detection is NOT forced here — large streaming traces should
+// pre-detect and pass Config.Communities (see cmd/communities -shards).
+func (e *engine) buildShardPlan(n int) {
+	if e.comms == nil {
+		e.comms = e.cfg.Communities
+	}
+	e.plan = kclique.PlanShards(e.comms, e.cfg.Trace.Nodes(), n)
+}
+
+// runSharded is the sharded counterpart of the sequential tail of run():
+// main-kernel closures and workload first (same seeding order, so same-seq
+// closure ordering at WindowFrom), then the parallel warm-up, the handoff
+// merge, and the unchanged sequential finishRun from the window on.
+func (e *engine) runSharded(s *sim.Simulator) (*Result, error) {
+	e.spans.Enter(obs.SpanSchedule)
+	err := e.scheduleWorkload(s)
+	if err == nil {
+		err = e.scheduleMemorySampling(s)
+	}
+	e.spans.Exit()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Schedule(e.cfg.WindowFrom, e.probeWindowFrom); err != nil {
+		return nil, err
+	}
+	if _, err := s.Schedule(e.cfg.WindowTo, e.probeWindowTo); err != nil {
+		return nil, err
+	}
+	e.emitPhase(e.startAt, obs.PhaseWarmup)
+
+	e.prepareShards(e.shardCount())
+	if err := e.seedShards(); err != nil {
+		return nil, err
+	}
+	e.wallStarted = time.Now()
+	stopProgress := e.startProgress()
+	err = e.runShardedWarmup(s, e.startAt)
+	if err == nil {
+		err = e.mergeShards(s)
+	}
+	stopProgress()
+	if err != nil {
+		return nil, err
+	}
+	e.ctrlFrom = e.cfg.WindowFrom - 1
+	return e.finishRun(s)
+}

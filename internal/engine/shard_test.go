@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"give2get/internal/kclique"
+	"give2get/internal/obs"
+	"give2get/internal/protocol"
+	"give2get/internal/sim"
+	"give2get/internal/trace"
+)
+
+// testCommunities is a hand-built community override matching the two
+// generated communities of testTrace (6+6 nodes), so shard plans exercise the
+// community-aligned path instead of pure hashing.
+func testCommunities(t testing.TB) *kclique.Communities {
+	t.Helper()
+	c, err := kclique.New(12, [][]trace.NodeID{
+		{0, 1, 2, 3, 4, 5},
+		{6, 7, 8, 9, 10, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestShardedDigestIdentical is the tentpole's determinism proof: the same
+// seeded run must produce a byte-identical audit digest — plus identical
+// deliveries and detections — at every shard count, for all six protocol
+// kinds. Deviants ride along on the G2G kinds so quality state built during
+// the parallel warm-up feeds real forwarding decisions, failed tests, and
+// blacklist calls after the handoff. Run under -race (make race covers this
+// package) it doubles as the data-race proof for the shard fan-out.
+func TestShardedDigestIdentical(t *testing.T) {
+	cases := []struct {
+		kind      protocol.Kind
+		deviants  []trace.NodeID
+		deviation protocol.Deviation
+	}{
+		{protocol.Epidemic, nil, protocol.Honest},
+		{protocol.G2GEpidemic, []trace.NodeID{2, 7, 10}, protocol.Dropper},
+		{protocol.DelegationFrequency, nil, protocol.Honest},
+		{protocol.DelegationLastContact, nil, protocol.Honest},
+		{protocol.G2GDelegationFrequency, []trace.NodeID{2, 7, 10}, protocol.Cheater},
+		{protocol.G2GDelegationLastContact, []trace.NodeID{2, 7}, protocol.Liar},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := auditConfig(t, tc.kind)
+			cfg.Deviants = tc.deviants
+			cfg.Deviation = tc.deviation
+			cfg.Shards = 1
+
+			ref, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range workerCounts()[1:] {
+				par := cfg
+				par.Shards = shards
+				got, err := Run(par)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got.Audit.Digest != ref.Audit.Digest {
+					t.Errorf("shards=%d: audit digest diverged:\n  sequential %s\n  sharded    %s",
+						shards, ref.Audit.Digest, got.Audit.Digest)
+				}
+				if got.Summary != ref.Summary {
+					t.Errorf("shards=%d: summary diverged:\n  sequential %+v\n  sharded    %+v",
+						shards, ref.Summary, got.Summary)
+				}
+				if got.Detection.Rate != ref.Detection.Rate ||
+					got.Detection.FalseAccusations != ref.Detection.FalseAccusations {
+					t.Errorf("shards=%d: detection diverged:\n  sequential %+v\n  sharded    %+v",
+						shards, ref.Detection, got.Detection)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCommunityPlanDigest pins that the shard plan itself — hash-only
+// versus community-aligned — is digest-invisible: the plan decides which
+// goroutine replays which node's warm-up, never what is replayed.
+func TestShardedCommunityPlanDigest(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7, 10}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hashed := cfg
+	hashed.Shards = 3 // no Communities: pure node-id hashing
+	communal := cfg
+	communal.Shards = 3
+	communal.Communities = testCommunities(t)
+
+	for name, c := range map[string]Config{"hash": hashed, "communities": communal} {
+		got, err := Run(c)
+		if err != nil {
+			t.Fatalf("%s plan: %v", name, err)
+		}
+		if got.Audit.Digest != ref.Audit.Digest {
+			t.Errorf("%s plan diverged from the sequential digest", name)
+		}
+	}
+}
+
+// TestShardedKillResume covers checkpoint/resume across the shard boundary in
+// both directions and both phases: a run killed during the parallel warm-up
+// (the barrier checkpoint must equal a sequential mid-warm-up one) and during
+// the sequential window, resumed at a different shard count each time. Shards
+// is deliberately outside the checkpoint fingerprint — barrier states are
+// shard-count-free, exactly like CryptoWorkers.
+func TestShardedKillResume(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7, 10}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name           string
+		stopAt         sim.Time
+		killed, resume int // shard counts
+	}{
+		{"warmup/4to2", 5 * sim.Hour, 4, 2},
+		{"warmup/4to1", 5 * sim.Hour, 4, 1},
+		{"warmup/1to4", 5 * sim.Hour, 1, 4},
+		{"window/4to2", 14*sim.Hour + 17*sim.Minute, 4, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kill := cfg
+			kill.Shards = tc.killed
+			kill.Checkpoint = CheckpointConfig{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+			kill.stopAt = tc.stopAt
+			mustInterrupt(t, kill)
+
+			resumeCfg := cfg
+			resumeCfg.Shards = tc.resume
+			got, err := Resume(kill.Checkpoint.Path, resumeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameOutcome(t, ref, got)
+		})
+	}
+}
+
+// TestShardedPeriodicCheckpoint pins the barrier protocol under periodic
+// emission: every 90 virtual minutes the coordinator pauses the shards at the
+// control instant and captures a checkpoint indistinguishable from a
+// sequential one — without perturbing the run — and the last flushed snapshot
+// resumes to the sequential digest.
+func TestShardedPeriodicCheckpoint(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GDelegationFrequency)
+	cfg.Deviants = []trace.NodeID{2, 7}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.Shards = 4
+	par.Checkpoint = CheckpointConfig{
+		Path:  filepath.Join(t.TempDir(), "periodic.ckpt"),
+		Every: 90 * sim.Minute,
+	}
+	full, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Audit.Digest != ref.Audit.Digest {
+		t.Fatal("sharded periodic checkpointing perturbed the run digest")
+	}
+
+	got, err := Resume(par.Checkpoint.Path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, ref, got)
+}
+
+// TestShardedCryptoWorkersCross composes the two parallel axes: sharded
+// warm-up feeding the crypto worker pool's windowed batches must still land
+// on the sequential digest.
+func TestShardedCryptoWorkersCross(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7, 10}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.Shards = 4
+	par.CryptoWorkers = 4
+	got, err := Run(par)
+	if err != nil {
+		t.Fatalf("shards×workers: %v", err)
+	}
+	if got.Audit.Digest != ref.Audit.Digest {
+		t.Error("shards×crypto-workers diverged from the sequential digest")
+	}
+	if got.Summary != ref.Summary {
+		t.Errorf("summary diverged:\n  sequential %+v\n  composed   %+v", ref.Summary, got.Summary)
+	}
+}
+
+// TestShardedContextDigest attaches a live context so the warm-up loop takes
+// the cancellation-poll slice barriers (many more, unaligned with control
+// instants) — extra barriers must be digest-invisible too. The context is
+// never cancelled; the run must complete.
+func TestShardedContextDigest(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7}
+	cfg.Deviation = protocol.Dropper
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.Shards = runtime.NumCPU()
+	par.Context = context.Background()
+	got, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Audit.Digest != ref.Audit.Digest {
+		t.Error("poll-slice barriers perturbed the digest")
+	}
+}
+
+// TestShardedFlightRecorderTags checks the telemetry tagging contract: in a
+// sharded run every flight record naming a node carries that node's shard,
+// while an unsharded run's records all stay at the -1 sentinel (so their
+// encodings are byte-identical to pre-sharding output), and the record
+// streams agree on everything but the tag.
+func TestShardedFlightRecorderTags(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Deviants = []trace.NodeID{2, 7, 10}
+	cfg.Deviation = protocol.Dropper
+	cfg.FlightRecorder = 4096
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range ref.FlightRecords {
+		if rec.Shard != -1 {
+			t.Fatalf("unsharded record %q tagged with shard %d", rec.Event, rec.Shard)
+		}
+	}
+
+	par := cfg
+	par.Shards = 4
+	got, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FlightRecords) != len(ref.FlightRecords) {
+		t.Fatalf("sharded run recorded %d flight records, sequential %d",
+			len(got.FlightRecords), len(ref.FlightRecords))
+	}
+	tagged := 0
+	for i, rec := range got.FlightRecords {
+		want := ref.FlightRecords[i]
+		if rec.Event != want.Event || rec.Sim != want.Sim || rec.From != want.From ||
+			rec.To != want.To || rec.Node != want.Node {
+			t.Fatalf("record %d diverged beyond the shard tag:\n  sequential %s\n  sharded    %s",
+				i, want.String(), rec.String())
+		}
+		actor := rec.Node
+		if actor < 0 {
+			actor = rec.From
+		}
+		switch {
+		case rec.Event == "phase" || rec.Event == "progress" || actor < 0:
+			if rec.Shard != -1 {
+				t.Fatalf("nodeless record %q tagged with shard %d", rec.Event, rec.Shard)
+			}
+		default:
+			if rec.Shard < 0 || rec.Shard >= 4 {
+				t.Fatalf("record %d (%q, node %d): shard tag %d out of range", i, rec.Event, actor, rec.Shard)
+			}
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("no flight record carried a shard tag")
+	}
+}
+
+// TestShardedSpanTelemetry checks that a sharded run attributes warm-up wall
+// time to the shard_warmup span (one count per shard-barrier slice) when a
+// telemetry registry is attached, and that sequential runs never emit it.
+func TestShardedSpanTelemetry(t *testing.T) {
+	cfg := auditConfig(t, protocol.G2GEpidemic)
+	cfg.Telemetry = obs.NewMetrics()
+	seqRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range seqRes.Telemetry.Spans {
+		if sp.Name == "shard_warmup" {
+			t.Fatal("sequential run recorded a shard_warmup span")
+		}
+	}
+
+	par := cfg
+	par.Shards = 4
+	par.Telemetry = obs.NewMetrics()
+	parRes, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range parRes.Telemetry.Spans {
+		if sp.Name == "shard_warmup" {
+			found = true
+			if sp.Count < 4 {
+				t.Errorf("shard_warmup count = %d, want >= one slice per shard", sp.Count)
+			}
+		}
+	}
+	if !found {
+		t.Error("sharded run emitted no shard_warmup span")
+	}
+}

@@ -70,6 +70,10 @@ type Options struct {
 	// engine.Config.CryptoWorkers); 0 or 1 keeps the sequential path.
 	// Rendered tables are byte-identical at every value.
 	CryptoWorkers int
+	// Shards partitions each run's warm-up phase across this many
+	// goroutines (see engine.Config.Shards); 0 or 1 keeps the sequential
+	// path. Rendered tables are byte-identical at every value.
+	Shards int
 }
 
 // scenarios returns the experiment's datasets, rebound to Options.TracePath
@@ -203,6 +207,7 @@ func (o Options) config(spec runSpec, seed int64) (engine.Config, error) {
 		OnlyOutsiders: spec.onlyOutsiders,
 		Telemetry:     o.Telemetry,
 		CryptoWorkers: o.CryptoWorkers,
+		Shards:        o.Shards,
 	}
 	if spec.onlyOutsiders {
 		comms, err := scenarioCommunities(spec.scenario)

@@ -1,0 +1,129 @@
+package kclique
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"give2get/internal/trace"
+)
+
+// New builds a Communities value from an explicit group assignment, without
+// running detection. Groups may overlap; member ids must lie in
+// [0, population). The CLI and tests use this to plan shards over community
+// lists that come from a trace header or a fixture rather than percolation.
+func New(population int, groups [][]trace.NodeID) (*Communities, error) {
+	if population < 0 {
+		return nil, fmt.Errorf("kclique: negative population %d", population)
+	}
+	c := &Communities{members: make([]map[int]struct{}, population)}
+	for i := range c.members {
+		c.members[i] = make(map[int]struct{})
+	}
+	for id, g := range groups {
+		nodes := make([]trace.NodeID, 0, len(g))
+		seen := make(map[trace.NodeID]struct{}, len(g))
+		for _, n := range g {
+			if n < 0 || int(n) >= population {
+				return nil, fmt.Errorf("kclique: group %d member %d outside population %d", id, n, population)
+			}
+			if _, dup := seen[n]; dup {
+				continue
+			}
+			seen[n] = struct{}{}
+			nodes = append(nodes, n)
+			c.members[n][id] = struct{}{}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		c.groups = append(c.groups, nodes)
+	}
+	return c, nil
+}
+
+// PlanShards maps every node in [0, population) to a shard in [0, shards).
+// The plan is total and deterministic:
+//
+//   - A node's home community is the lowest community id it belongs to
+//     (communities can overlap; the lowest id is a stable tiebreak).
+//   - Communities are placed whole — largest home-population first, ids
+//     breaking ties — onto the currently least-loaded shard (lowest shard id
+//     on a tie), the classic LPT greedy balance.
+//   - Outsiders (nodes in no community, or all nodes when c is nil) are
+//     spread by an FNV-1a hash of the node id, so they do not pile onto one
+//     shard.
+//
+// shards values below 2 (and populations below 1) yield the all-zero plan;
+// shard counts above the population are clamped to it.
+func PlanShards(c *Communities, population, shards int) []int {
+	plan := make([]int, population)
+	if shards > population {
+		shards = population
+	}
+	if shards <= 1 {
+		return plan
+	}
+
+	load := make([]int, shards)
+	leastLoaded := func() int {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		return best
+	}
+
+	if c != nil {
+		// Home population per community.
+		homes := make([]int, c.Len())
+		for n := 0; n < population; n++ {
+			if ids := c.Of(trace.NodeID(n)); len(ids) > 0 {
+				homes[ids[0]]++
+			}
+		}
+		order := make([]int, c.Len())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if homes[a] != homes[b] {
+				return homes[a] > homes[b]
+			}
+			return a < b
+		})
+		commShard := make([]int, c.Len())
+		for _, id := range order {
+			s := leastLoaded()
+			commShard[id] = s
+			load[s] += homes[id]
+		}
+		for n := 0; n < population; n++ {
+			if ids := c.Of(trace.NodeID(n)); len(ids) > 0 {
+				plan[n] = commShard[ids[0]]
+			} else {
+				plan[n] = hashShard(n, shards)
+			}
+		}
+		return plan
+	}
+
+	for n := 0; n < population; n++ {
+		plan[n] = hashShard(n, shards)
+	}
+	return plan
+}
+
+// hashShard spreads community-less nodes with FNV-1a over the node id's
+// little-endian bytes, matching the assignment cmd/communities prints.
+func hashShard(n, shards int) int {
+	h := fnv.New32a()
+	var buf [8]byte
+	v := uint64(n)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(shards))
+}

@@ -1,0 +1,151 @@
+package kclique
+
+import (
+	"testing"
+
+	"give2get/internal/trace"
+)
+
+func TestNewValidatesMembers(t *testing.T) {
+	if _, err := New(4, [][]trace.NodeID{{0, 1, 9}}); err == nil {
+		t.Fatal("member outside the population must be rejected")
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Fatal("negative population must be rejected")
+	}
+	c, err := New(6, [][]trace.NodeID{{2, 0, 1, 1}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if g := c.Group(0); len(g) != 3 || g[0] != 0 || g[2] != 2 {
+		t.Fatalf("group 0 = %v, want sorted deduped [0 1 2]", g)
+	}
+	if !c.SameCommunity(3, 4) || c.SameCommunity(0, 3) || c.SameCommunity(5, 5) {
+		t.Fatal("SameCommunity disagrees with explicit groups")
+	}
+}
+
+func TestPlanShardsTrivial(t *testing.T) {
+	for _, shards := range []int{-3, 0, 1} {
+		plan := PlanShards(nil, 5, shards)
+		if len(plan) != 5 {
+			t.Fatalf("plan length %d, want 5", len(plan))
+		}
+		for n, s := range plan {
+			if s != 0 {
+				t.Fatalf("shards=%d: plan[%d] = %d, want 0", shards, n, s)
+			}
+		}
+	}
+	// Shard counts above the population clamp to it.
+	plan := PlanShards(nil, 3, 16)
+	for n, s := range plan {
+		if s < 0 || s >= 3 {
+			t.Fatalf("plan[%d] = %d outside clamped shard range [0,3)", n, s)
+		}
+	}
+}
+
+func TestPlanShardsKeepsCommunitiesWhole(t *testing.T) {
+	c, err := New(12, [][]trace.NodeID{
+		{0, 1, 2, 3}, // home of 4 nodes
+		{4, 5, 6},    // home of 3 nodes
+		{7, 8},       // home of 2 nodes
+		{3, 9},       // overlaps community 0; node 3's home stays 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanShards(c, 12, 2)
+	for _, group := range [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8}} {
+		for _, n := range group[1:] {
+			if plan[n] != plan[group[0]] {
+				t.Fatalf("community %v split across shards: %v", group, plan)
+			}
+		}
+	}
+	// LPT: the 4-node community lands alone on one shard, the 3- and 2-node
+	// communities on the other.
+	if plan[0] == plan[4] || plan[4] != plan[7] {
+		t.Fatalf("LPT balance violated: %v", plan)
+	}
+}
+
+func TestPlanShardsDeterministic(t *testing.T) {
+	c, err := New(40, [][]trace.NodeID{{0, 1, 2}, {10, 11, 12, 13}, {20, 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PlanShards(c, 40, 4)
+	b := PlanShards(c, 40, 4)
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("plan not deterministic at node %d: %d vs %d", n, a[n], b[n])
+		}
+	}
+	// Outsiders spread across more than one shard at this population.
+	seen := map[int]bool{}
+	for n := 25; n < 40; n++ {
+		seen[a[n]] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("outsider hashing collapsed onto one shard: %v", a[25:])
+	}
+}
+
+// FuzzShardPlan decodes arbitrary bytes into a population, a shard count,
+// and an overlapping community assignment, and checks the three plan
+// invariants: total, valid, deterministic.
+func FuzzShardPlan(f *testing.F) {
+	f.Add(10, 4, []byte{0, 0, 1, 1, 2})
+	f.Add(1, 1, []byte{})
+	f.Add(64, 8, []byte{3, 3, 3, 0, 1, 2, 250, 9})
+	f.Fuzz(func(t *testing.T, population, shards int, membership []byte) {
+		if population < 0 {
+			population = -population
+		}
+		population %= 512
+		shards %= 64
+
+		// membership[i] assigns node i%population to community
+		// membership[i]%8; byte 255 leaves the node an outsider.
+		groups := make([][]trace.NodeID, 8)
+		for i, b := range membership {
+			if population == 0 || b == 255 {
+				continue
+			}
+			groups[b%8] = append(groups[b%8], trace.NodeID(i%population))
+		}
+		c, err := New(population, groups)
+		if err != nil {
+			t.Fatalf("New rejected in-range members: %v", err)
+		}
+		for _, comm := range []*Communities{c, nil} {
+			plan := PlanShards(comm, population, shards)
+			if len(plan) != population {
+				t.Fatalf("plan not total: %d entries for population %d", len(plan), population)
+			}
+			limit := shards
+			if limit > population {
+				limit = population
+			}
+			if limit < 1 {
+				limit = 1
+			}
+			for n, s := range plan {
+				if s < 0 || s >= limit {
+					t.Fatalf("plan[%d] = %d outside [0,%d)", n, s, limit)
+				}
+			}
+			again := PlanShards(comm, population, shards)
+			for n := range plan {
+				if plan[n] != again[n] {
+					t.Fatalf("plan not deterministic at node %d", n)
+				}
+			}
+		}
+	})
+}

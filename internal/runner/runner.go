@@ -197,9 +197,9 @@ func Run(specs []Spec, opts Options) ([]Outcome, error) {
 		stop        atomic.Bool  // FailFast latch
 		interrupted atomic.Bool  // cancellation latch, any policy
 		completed   atomic.Int64 // finished runs, for progress numbering
-		progMu    sync.Mutex   // serializes progress lines
-		dumpMu    sync.Mutex   // serializes flight-recorder dumps
-		wg        sync.WaitGroup
+		progMu      sync.Mutex   // serializes progress lines
+		dumpMu      sync.Mutex   // serializes flight-recorder dumps
+		wg          sync.WaitGroup
 	)
 	worker := func() {
 		defer wg.Done()

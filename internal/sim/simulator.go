@@ -149,14 +149,16 @@ func (s *Simulator) Run() (Time, error) {
 	defer func() { s.running = false }()
 
 	for !s.stopped {
-		e, ok := s.queue.pop()
-		if !ok {
+		if s.horizon > 0 && s.queue.Len() > 0 && s.queue.items[0].At > s.horizon {
+			// Past the horizon: leave the clock at the horizon and keep the
+			// event queued. A later Run/RunUntil with a wider (or no)
+			// horizon picks it up — incremental advancement must not lose
+			// events.
+			s.now = s.horizon
 			break
 		}
-		if s.horizon > 0 && e.At > s.horizon {
-			// Past the horizon: leave the clock at the horizon and
-			// discard the event (events beyond the horizon never run).
-			s.now = s.horizon
+		e, ok := s.queue.pop()
+		if !ok {
 			break
 		}
 		s.now = e.At
